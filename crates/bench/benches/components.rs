@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the substrates: AES, MAC, Morphable
+//! encode/decode, cache arrays, the DRAM scheduler and the NoC model.
+//!
+//! These quantify the *simulator's* own performance (events/second),
+//! complementing the figure benches that quantify the *simulated* system.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use emcc::cache::{CacheConfig, SetAssocCache};
+use emcc::counters::format::{decode_morphable, encode_morphable};
+use emcc::counters::MorphFormat;
+use emcc::crypto::{Aes128, BlockCipherKeys, DataBlock};
+use emcc::dram::{Dram, DramConfig, DramRequest, RequestClass};
+use emcc::noc::{Mesh, NocLatency};
+use emcc::sim::{LineAddr, Rng64, Time};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new([7u8; 16]);
+    c.bench_function("crypto/aes128_block", |b| {
+        b.iter(|| aes.encrypt(black_box([42u8; 16])))
+    });
+
+    let keys = BlockCipherKeys::from_seed(1);
+    let plain = DataBlock::from_words([3; 8]);
+    c.bench_function("crypto/encrypt_64B_block", |b| {
+        b.iter(|| keys.encrypt_block(black_box(0x40), black_box(9), &plain))
+    });
+    let cipher = keys.encrypt_block(0x40, 9, &plain);
+    c.bench_function("crypto/mac_64B_block", |b| {
+        b.iter(|| keys.mac_block(black_box(0x40), black_box(9), &cipher))
+    });
+}
+
+fn bench_morphable(c: &mut Criterion) {
+    let mut minors = [0u16; 128];
+    for (i, m) in minors.iter_mut().enumerate() {
+        *m = (i % 8) as u16;
+    }
+    c.bench_function("counters/morphable_encode", |b| {
+        b.iter(|| encode_morphable(MorphFormat::Uniform3, 5, black_box(&minors), 0x99))
+    });
+    let bytes = encode_morphable(MorphFormat::Uniform3, 5, &minors, 0x99);
+    c.bench_function("counters/morphable_decode", |b| {
+        b.iter(|| decode_morphable(black_box(&bytes)))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l2_insert_touch", |b| {
+        let mut cache: SetAssocCache<u8> =
+            SetAssocCache::new(CacheConfig::new(1024 * 1024, 8));
+        let mut rng = Rng64::new(3);
+        b.iter(|| {
+            let a = LineAddr::new(rng.below(1 << 20));
+            cache.insert(a, false, 0);
+            black_box(cache.touch(a))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/enqueue_pump_cycle", |b| {
+        let mut dram = Dram::new(DramConfig::table_i(1));
+        let mut rng = Rng64::new(5);
+        let mut now = Time::ZERO;
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            now += Time::from_ns(10);
+            let line = LineAddr::new(rng.below(1 << 24));
+            let _ = dram.enqueue(DramRequest::read(id, line, RequestClass::Data), now);
+            black_box(dram.pump(now).completions.len())
+        })
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mesh = Mesh::xeon_w3175x();
+    let lat = NocLatency::calibrated();
+    c.bench_function("noc/latency_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 28;
+            black_box(lat.one_way(mesh.hops_core_to_core(i, 27 - i), true))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_morphable,
+    bench_cache,
+    bench_dram,
+    bench_noc
+);
+criterion_main!(benches);

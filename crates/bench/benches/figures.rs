@@ -1,0 +1,66 @@
+//! Criterion benches wrapping each figure's experiment at Test scale —
+//! one bench per table/figure, so `cargo bench` exercises the entire
+//! reproduction pipeline end-to-end with timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use emcc::prelude::*;
+use emcc_bench::experiments;
+use emcc_bench::ExpParams;
+
+fn tiny() -> ExpParams {
+    ExpParams::for_scale(WorkloadScale::Test)
+}
+
+/// One full simulation (the unit of work behind every figure).
+fn bench_single_sim(c: &mut Criterion) {
+    let p = tiny();
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("canneal_emcc_test_scale", |b| {
+        b.iter(|| p.run_scheme(Benchmark::Canneal, SecurityScheme::Emcc))
+    });
+    g.bench_function("canneal_morphable_test_scale", |b| {
+        b.iter(|| p.run_scheme(Benchmark::Canneal, SecurityScheme::CtrInLlc))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let p = tiny();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("fig03_llc_latency_distribution", |b| {
+        b.iter(experiments::fig03::run)
+    });
+    g.bench_function("timelines_figs_5_8_10_13_14", |b| {
+        b.iter(experiments::timelines::render_all)
+    });
+    g.sample_size(10);
+    g.bench_function("fig02_traffic_overhead", |b| {
+        b.iter(|| experiments::fig02::run(&p))
+    });
+    g.bench_function("fig06_counter_split", |b| {
+        b.iter(|| experiments::fig06_07::run_fig06(&p))
+    });
+    g.bench_function("fig11_12_23_emcc_counters", |b| {
+        b.iter(|| experiments::emcc_ctr::run(&p))
+    });
+    g.bench_function("fig15_bandwidth_breakdown", |b| {
+        b.iter(|| experiments::fig15::run(&p))
+    });
+    g.bench_function("fig16_17_performance", |b| {
+        b.iter(|| experiments::perf::run_suite(&p))
+    });
+    g.bench_function("fig24_regular_suite", |b| {
+        b.iter(|| experiments::fig24::run(&p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_sim, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the DESIGN.md ablations (L2 counter budget, AES wait, XPT) and the
+//! §IV-F extension comparisons (inclusive LLC, dynamic disable).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::ablations::l2_budget(&p).render());
+    print!("{}", emcc_bench::experiments::ablations::aes_wait(&p).render());
+    print!("{}", emcc_bench::experiments::ablations::xpt(&p).render());
+    print!("{}", emcc_bench::experiments::ablations::extensions(&p).render());
+}

@@ -1,0 +1,36 @@
+//! Exports the main figures as CSV files under `figures/`, for plotting.
+//!
+//! ```sh
+//! EMCC_SCALE=small cargo run --release -p emcc-bench --bin csv_export
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use emcc_bench::{experiments, scale_from_env, ExpParams};
+
+fn main() -> std::io::Result<()> {
+    let p = ExpParams::for_scale(scale_from_env());
+    let dir = Path::new("figures");
+    fs::create_dir_all(dir)?;
+
+    let write = |name: &str, csv: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        fs::write(&path, csv)?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    };
+
+    write("fig03_llc_latency.csv", experiments::fig03::run().to_csv())?;
+    write("fig02_traffic.csv", experiments::fig02::run(&p).to_csv())?;
+    write("fig06_ctr_split.csv", experiments::fig06_07::run_fig06(&p).to_csv())?;
+    let ec = experiments::emcc_ctr::run(&p);
+    write("fig11_useless.csv", ec.fig11.to_csv())?;
+    write("fig12_ctr_accesses.csv", ec.fig12.to_csv())?;
+    write("fig23_invalidations.csv", ec.fig23.to_csv())?;
+    write("fig15_bandwidth.csv", experiments::fig15::run(&p).to_csv())?;
+    let rows = experiments::perf::run_suite(&p);
+    write("fig16_perf.csv", experiments::perf::fig16(&rows).to_csv())?;
+    write("fig17_miss_latency.csv", experiments::perf::fig17(&rows).to_csv())?;
+    Ok(())
+}

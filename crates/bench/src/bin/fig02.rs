@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (DRAM traffic overhead w/o vs w/ counters in LLC).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig02::run(&p).render());
+}

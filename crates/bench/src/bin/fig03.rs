@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (LLC hit latency distribution).
+fn main() {
+    print!("{}", emcc_bench::experiments::fig03::run().render());
+}

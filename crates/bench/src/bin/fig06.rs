@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (counter hit/miss split, 2 MB/core LLC).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig06_07::run_fig06(&p).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (counter hit/miss split, 12 MB/core LLC).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig06_07::run_fig07(&p).render());
+}

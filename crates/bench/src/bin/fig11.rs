@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (useless counter accesses under EMCC).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::emcc_ctr::run(&p).fig11.render());
+}

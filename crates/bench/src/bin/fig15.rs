@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 (bandwidth utilization breakdown).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig15::run(&p).render());
+}

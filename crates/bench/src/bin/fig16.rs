@@ -1,0 +1,10 @@
+//! Regenerates Figure 16 (normalized performance of SC-64/Morphable/EMCC).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    let rows = emcc_bench::experiments::perf::run_suite(&p);
+    print!("{}", emcc_bench::experiments::perf::fig16(&rows).render());
+    println!(
+        "headline: EMCC speeds up Morphable by {:.1}% on average (paper: 7%)",
+        emcc_bench::experiments::perf::mean_emcc_speedup(&rows) * 100.0
+    );
+}

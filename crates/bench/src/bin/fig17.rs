@@ -1,0 +1,6 @@
+//! Regenerates Figure 17 (average L2 miss latency).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    let rows = emcc_bench::experiments::perf::run_suite(&p);
+    print!("{}", emcc_bench::experiments::perf::fig17(&rows).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 18 (sensitivity to AES latency).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig18::run(&p).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 19 (DRAM reads decrypted at L2 vs AES split).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig19::run(&p).render());
+}

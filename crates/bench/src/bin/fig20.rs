@@ -1,0 +1,5 @@
+//! Regenerates Figure 20 (sensitivity to MC counter-cache size).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig20::run(&p).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 21 (sensitivity to DRAM channel count).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig21_22::run(&p).fig21.render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 22 (DRAM queuing delay by access type).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig21_22::run(&p).fig22.render());
+}

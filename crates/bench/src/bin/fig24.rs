@@ -1,0 +1,5 @@
+//! Regenerates Figure 24 (useless counter accesses, regular benchmarks).
+fn main() {
+    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
+    print!("{}", emcc_bench::experiments::fig24::run(&p).render());
+}

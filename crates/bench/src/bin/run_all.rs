@@ -1,0 +1,99 @@
+//! Regenerates every figure in one pass (sharing simulations where
+//! figures overlap) — the data source for EXPERIMENTS.md.
+//!
+//! ```sh
+//! EMCC_SCALE=small cargo run --release -p emcc-bench --bin run_all
+//! ```
+
+use std::time::Instant;
+
+use emcc_bench::experiments;
+use emcc_bench::{scale_from_env, ExpParams};
+
+fn main() {
+    let scale = scale_from_env();
+    let p = ExpParams::for_scale(scale);
+    let t0 = Instant::now();
+    println!(
+        "EMCC reproduction: regenerating all figures at {scale:?} scale \
+         ({} warmup + {} measured mem-ops/core)\n",
+        p.warmup_ops, p.measure_ops
+    );
+
+    let section = |name: &str| {
+        eprintln!("[{:>7.1}s] running {name}...", t0.elapsed().as_secs_f64());
+    };
+
+    section("timelines (Figs 5/8/10/13/14)");
+    print!("{}", experiments::timelines::render_all());
+    println!();
+
+    section("Fig 3");
+    print!("{}", experiments::fig03::run().render());
+    println!();
+
+    section("Fig 2");
+    print!("{}", experiments::fig02::run(&p).render());
+    println!();
+
+    section("Figs 6/7");
+    print!("{}", experiments::fig06_07::run_fig06(&p).render());
+    println!();
+    print!("{}", experiments::fig06_07::run_fig07(&p).render());
+    println!();
+
+    section("Figs 11/12/23");
+    let ec = experiments::emcc_ctr::run(&p);
+    print!("{}", ec.fig11.render());
+    println!();
+    print!("{}", ec.fig12.render());
+    println!();
+    print!("{}", ec.fig23.render());
+    println!();
+
+    section("Fig 15");
+    print!("{}", experiments::fig15::run(&p).render());
+    println!();
+
+    section("Figs 16/17");
+    let rows = experiments::perf::run_suite(&p);
+    print!("{}", experiments::perf::fig16(&rows).render());
+    println!(
+        "headline: EMCC speeds up Morphable by {:.1}% on average (paper: 7%)\n",
+        experiments::perf::mean_emcc_speedup(&rows) * 100.0
+    );
+    print!("{}", experiments::perf::fig17(&rows).render());
+    println!();
+
+    section("Fig 18");
+    print!("{}", experiments::fig18::run(&p).render());
+    println!();
+
+    section("Fig 19");
+    print!("{}", experiments::fig19::run(&p).render());
+    println!();
+
+    section("Fig 20");
+    print!("{}", experiments::fig20::run(&p).render());
+    println!();
+
+    section("Figs 21/22");
+    let ch = experiments::fig21_22::run(&p);
+    print!("{}", ch.fig21.render());
+    println!();
+    print!("{}", ch.fig22.render());
+    println!();
+
+    section("Fig 24");
+    print!("{}", experiments::fig24::run(&p).render());
+    println!();
+
+    section("ablations");
+    print!("{}", experiments::ablations::l2_budget(&p).render());
+    println!();
+    print!("{}", experiments::ablations::aes_wait(&p).render());
+    println!();
+    print!("{}", experiments::ablations::xpt(&p).render());
+
+    eprintln!("[{:>7.1}s] done", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figures 5/8/10/13/14 (secure-memory-access timelines).
+fn main() {
+    print!("{}", emcc_bench::experiments::timelines::render_all());
+}

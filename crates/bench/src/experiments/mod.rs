@@ -1,0 +1,154 @@
+//! One module per figure (or per group of figures sharing simulations).
+
+pub mod ablations;
+pub mod emcc_ctr;
+pub mod fig02;
+pub mod fig03;
+pub mod fig06_07;
+pub mod fig15;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21_22;
+pub mod fig24;
+pub mod perf;
+pub mod timelines;
+
+/// A rendered figure: benchmarks as rows, series as columns.
+#[derive(Debug, Clone, Default)]
+pub struct FigureData {
+    /// e.g. "Figure 16: performance normalized to non-secure".
+    pub title: String,
+    /// Row labels (benchmark names; last row is typically "mean").
+    pub rows: Vec<String>,
+    /// Column labels.
+    pub cols: Vec<String>,
+    /// `values[row][col]`.
+    pub values: Vec<Vec<f64>>,
+    /// Whether values render as percentages.
+    pub percent: bool,
+    /// Free-form comparison note (paper's reported numbers).
+    pub note: String,
+}
+
+impl FigureData {
+    /// Appends an arithmetic-mean row over the current rows.
+    pub fn push_mean_row(&mut self) {
+        if self.values.is_empty() {
+            return;
+        }
+        let cols = self.values[0].len();
+        let mut mean = vec![0.0; cols];
+        for row in &self.values {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.values.len() as f64;
+        }
+        self.rows.push("mean".to_string());
+        self.values.push(mean);
+    }
+
+    /// Mean-row value for column `c` (the figure's headline number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no mean row was pushed or `c` is out of range.
+    pub fn mean(&self, c: usize) -> f64 {
+        assert_eq!(self.rows.last().map(String::as_str), Some("mean"));
+        self.values.last().expect("rows exist")[c]
+    }
+
+    /// Renders the table as CSV (`benchmark,col1,col2,...`), for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark");
+        for c in &self.cols {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (name, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(name);
+            for v in row {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&crate::runner::header_row(
+            "benchmark",
+            &self.cols.iter().map(String::as_str).collect::<Vec<_>>(),
+        ));
+        out.push('\n');
+        for (name, row) in self.rows.iter().zip(&self.values) {
+            let line = if self.percent {
+                crate::runner::pct_row(name, row)
+            } else {
+                crate::runner::num_row(name, row)
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("paper: {}\n", self.note));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_row_is_arithmetic() {
+        let mut f = FigureData {
+            rows: vec!["a".into(), "b".into()],
+            cols: vec!["x".into()],
+            values: vec![vec![1.0], vec![3.0]],
+            ..FigureData::default()
+        };
+        f.push_mean_row();
+        assert_eq!(f.mean(0), 2.0);
+        assert_eq!(f.rows.len(), 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let f = FigureData {
+            rows: vec!["canneal".into()],
+            cols: vec!["EMCC".into(), "base".into()],
+            values: vec![vec![0.125, 1.0]],
+            ..FigureData::default()
+        };
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "benchmark,EMCC,base");
+        assert!(lines[1].starts_with("canneal,0.125000,1.000000"));
+    }
+
+    #[test]
+    fn render_contains_rows_and_note() {
+        let mut f = FigureData {
+            title: "Figure X".into(),
+            rows: vec!["canneal".into()],
+            cols: vec!["EMCC".into()],
+            values: vec![vec![0.125]],
+            percent: true,
+            note: "12.5% for canneal".into(),
+        };
+        f.push_mean_row();
+        let s = f.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("canneal"));
+        assert!(s.contains("12.5%"));
+        assert!(s.contains("paper:"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Figures 5, 8, 10, 13 and 14: the secure-memory-access timelines,
+//! composed analytically from the §III latency constants.
+
+use emcc::system::timeline::{Timeline, TimelineParams, TimelineScenario};
+
+/// Renders every timeline scenario with its paper cross-reference.
+pub fn render_all() -> String {
+    let p = TimelineParams::default();
+    let scenarios: [(&str, TimelineScenario); 9] = [
+        (
+            "Fig 5 (upper): counter miss, no LLC counter caching",
+            TimelineScenario::CtrMissNoLlcCaching,
+        ),
+        (
+            "Fig 5 (lower): counter miss, counters cached in LLC",
+            TimelineScenario::CtrMissLlcCaching,
+        ),
+        (
+            "Fig 8 (upper): counter hit in MC's private cache",
+            TimelineScenario::CtrHitInMc,
+        ),
+        (
+            "Fig 8 (lower): counter hit in LLC (serial baseline)",
+            TimelineScenario::CtrHitInLlcBaseline,
+        ),
+        (
+            "Fig 10a: EMCC, counter miss in LLC, row-buffer miss",
+            TimelineScenario::EmccCtrMissLlc,
+        ),
+        (
+            "Fig 13a: EMCC, counter hit in LLC",
+            TimelineScenario::EmccCtrHitLlc,
+        ),
+        (
+            "Fig 13b: baseline, counter hit in LLC",
+            TimelineScenario::BaselineCtrHitLlc,
+        ),
+        (
+            "Fig 14a: EMCC + XPT, row-buffer miss",
+            TimelineScenario::EmccXptRowMiss,
+        ),
+        (
+            "Fig 14b: baseline + XPT, row-buffer miss",
+            TimelineScenario::BaselineXptRowMiss,
+        ),
+    ];
+    let mut out = String::from("== Figures 5/8/10/13/14: secure-memory-access timelines ==\n");
+    for (label, sc) in scenarios {
+        out.push_str(&format!("\n{label}\n"));
+        out.push_str(&Timeline::compose(sc, &p).render());
+    }
+
+    // Headline deltas.
+    let t = |s| Timeline::compose(s, &p).total;
+    out.push_str(&format!(
+        "\nFig 5 delta (LLC caching adds Direct-LLC latency): {:.1} ns (paper: 19 ns)\n",
+        (t(TimelineScenario::CtrMissLlcCaching) - t(TimelineScenario::CtrMissNoLlcCaching))
+            .as_ns_f64()
+    ));
+    out.push_str(&format!(
+        "Fig 8 delta (LLC ctr hit vs MC ctr hit): {:.1} ns (paper: ~8 ns)\n",
+        (t(TimelineScenario::CtrHitInLlcBaseline) - t(TimelineScenario::CtrHitInMc)).as_ns_f64()
+    ));
+    out.push_str(&format!(
+        "Fig 13 delta (EMCC vs baseline, ctr hit in LLC): {:.1} ns\n",
+        (t(TimelineScenario::BaselineCtrHitLlc) - t(TimelineScenario::EmccCtrHitLlc)).as_ns_f64()
+    ));
+    out.push_str(&format!(
+        "Fig 14 delta (EMCC vs baseline, XPT + row miss): {:.1} ns (paper: 22 ns)\n",
+        (t(TimelineScenario::BaselineXptRowMiss) - t(TimelineScenario::EmccXptRowMiss))
+            .as_ns_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_mentions_all_figures() {
+        let s = super::render_all();
+        for fig in ["Fig 5", "Fig 8", "Fig 10a", "Fig 13a", "Fig 14a"] {
+            assert!(s.contains(fig), "missing {fig}");
+        }
+    }
+}

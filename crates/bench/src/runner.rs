@@ -1,0 +1,118 @@
+//! Shared simulation-running and table-rendering helpers.
+
+use emcc::prelude::*;
+use emcc::system::SystemConfig as Cfg;
+
+/// Per-run parameters derived from the chosen scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpParams {
+    /// Workload synthesis scale.
+    pub scale: WorkloadScale,
+    /// Warmup memory ops per core (caches/counters/predictors warm).
+    pub warmup_ops: u64,
+    /// Measured memory ops per core.
+    pub measure_ops: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExpParams {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: WorkloadScale) -> Self {
+        let (warmup_ops, measure_ops) = match scale {
+            WorkloadScale::Test => (2_000, 6_000),
+            WorkloadScale::Small => (30_000, 70_000),
+            WorkloadScale::Paper => (100_000, 250_000),
+        };
+        ExpParams {
+            scale,
+            warmup_ops,
+            measure_ops,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Runs one benchmark under a configuration.
+    pub fn run(&self, bench: Benchmark, cfg: Cfg) -> SimReport {
+        let sources = bench.build_scaled(self.seed, cfg.cores, self.scale);
+        SecureSystem::new(cfg)
+            .run_with_warmup(sources, self.warmup_ops, self.measure_ops)
+    }
+
+    /// Runs one benchmark under a scheme with the Table I configuration.
+    pub fn run_scheme(&self, bench: Benchmark, scheme: SecurityScheme) -> SimReport {
+        self.run(bench, Cfg::table_i(scheme))
+    }
+}
+
+/// Reads `EMCC_SCALE` from the environment (default `small`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value.
+pub fn scale_from_env() -> WorkloadScale {
+    match std::env::var("EMCC_SCALE").as_deref() {
+        Ok("test") => WorkloadScale::Test,
+        Ok("paper") => WorkloadScale::Paper,
+        Ok("small") | Err(_) => WorkloadScale::Small,
+        Ok(other) => panic!("unknown EMCC_SCALE {other:?} (use test|small|paper)"),
+    }
+}
+
+/// Renders one row of `name` followed by fixed-width percentage columns.
+pub fn pct_row(name: &str, values: &[f64]) -> String {
+    let mut s = format!("{name:<16}");
+    for v in values {
+        s.push_str(&format!(" {:>9.1}%", v * 100.0));
+    }
+    s
+}
+
+/// Renders one row of `name` followed by fixed-width numeric columns.
+pub fn num_row(name: &str, values: &[f64]) -> String {
+    let mut s = format!("{name:<16}");
+    for v in values {
+        s.push_str(&format!(" {v:>10.2}"));
+    }
+    s
+}
+
+/// Column-header row matching [`pct_row`]/[`num_row`] widths.
+pub fn header_row(name: &str, cols: &[&str]) -> String {
+    let mut s = format!("{name:<16}");
+    for c in cols {
+        s.push_str(&format!(" {c:>10}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_scale_sensibly() {
+        let t = ExpParams::for_scale(WorkloadScale::Test);
+        let p = ExpParams::for_scale(WorkloadScale::Paper);
+        assert!(p.measure_ops > t.measure_ops);
+    }
+
+    #[test]
+    fn rows_align() {
+        let h = header_row("bench", &["a", "b"]);
+        let r = num_row("canneal", &[1.0, 2.0]);
+        assert_eq!(h.len(), r.len());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        let r = pct_row("x", &[0.125]);
+        assert!(r.contains("12.5%"));
+    }
+
+    #[test]
+    fn env_default_is_small() {
+        std::env::remove_var("EMCC_SCALE");
+        assert_eq!(scale_from_env(), WorkloadScale::Small);
+    }
+}

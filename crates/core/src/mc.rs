@@ -1,0 +1,704 @@
+//! Memory-controller side of the system: the secure pipeline, counter
+//! fetch + integrity verification, write-backs, overflow re-encryption and
+//! DRAM glue.
+
+use std::collections::{HashMap, VecDeque};
+
+use emcc_cache::BlockKind;
+use emcc_dram::{Dram, DramRequest, RequestClass};
+use emcc_secmem::{AesPool, MetadataCache, OverflowEngine, OverflowTask};
+use emcc_sim::{LineAddr, Time};
+
+use crate::report::CtrSource;
+use crate::system::{Ev, SecureSystem, TxnId};
+
+/// Who asked for a counter block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtrOrigin {
+    /// An EMCC L2 (parallel counter request).
+    L2 { core: usize },
+    /// The MC itself (baseline serial access).
+    Mc,
+    /// Internal: the LLC found the block and is replying to the MC.
+    LlcHitReply,
+}
+
+/// What a DRAM completion corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DramTarget {
+    /// A demand/prefetch data read for a transaction.
+    DataRead(TxnId),
+    /// A metadata node fetch feeding the counter transaction keyed by its
+    /// level-0 block address.
+    NodeFetch { ctr_block: LineAddr },
+    /// A posted write (data or metadata); nothing waits on it.
+    PostedWrite,
+    /// Background overflow re-encryption traffic.
+    Overflow,
+}
+
+/// An in-flight counter resolution at the MC.
+#[derive(Debug, Default)]
+pub(crate) struct CtrTxn {
+    /// Data reads at the MC waiting for this counter.
+    pub data_waiters: Vec<TxnId>,
+    /// Write-backs waiting for this counter.
+    pub wb_waiters: Vec<LineAddr>,
+    /// EMCC cores to forward the verified block to.
+    pub l2_reply: Vec<usize>,
+    /// Insert the verified block into the LLC when ready.
+    pub llc_reply: bool,
+    /// Outstanding node fetches (the block itself + missing ancestors).
+    pub pending_fetches: u32,
+    /// Levels fetched (for verification cost).
+    pub fetched_levels: u32,
+    /// Ancestor nodes fetched from DRAM; inserted into the MC cache on
+    /// verification so later walks stop early.
+    pub fetched_ancestors: Vec<LineAddr>,
+    /// Where the level-0 block was found.
+    pub source: Option<CtrSource>,
+    /// The LLC probe for the level-0 block is in flight.
+    pub llc_probe_outstanding: bool,
+    /// DRAM fetches have been launched.
+    pub dram_started: bool,
+}
+
+/// MC state owned by the system.
+pub(crate) struct McState {
+    pub meta: MetadataCache,
+    /// Read-path AES: OTPs for MC-decrypted reads and counter-block
+    /// verification. Write-path AES runs on [`Self::aes_wr`] — real MCs
+    /// deprioritize write-back crypto so it never delays read OTPs.
+    pub aes: AesPool,
+    /// Write-path AES (encryption + MAC update for write-backs).
+    pub aes_wr: AesPool,
+    pub overflow: OverflowEngine,
+    pub ctr_txns: HashMap<LineAddr, CtrTxn>,
+    pub dram_targets: HashMap<u64, DramTarget>,
+    pub next_dram_id: u64,
+    pub dram: Dram,
+    pub deferred_wb: VecDeque<LineAddr>,
+}
+
+impl SecureSystem {
+    // ----- DRAM plumbing ---------------------------------------------------
+
+    pub(crate) fn enqueue_dram(
+        &mut self,
+        line: LineAddr,
+        is_write: bool,
+        class: RequestClass,
+        target: DramTarget,
+    ) -> bool {
+        let id = self.mc.next_dram_id;
+        self.mc.next_dram_id += 1;
+        let req = if is_write {
+            DramRequest::write(id, line, class)
+        } else {
+            DramRequest::read(id, line, class)
+        };
+        match self.mc.dram.enqueue(req, self.now) {
+            Ok(()) => {
+                self.mc.dram_targets.insert(id, target);
+                self.pump_dram();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub(crate) fn pump_dram(&mut self) {
+        let r = self.mc.dram.pump(self.now);
+        for c in r.completions {
+            self.queue.push(
+                c.done,
+                Ev::DramDone {
+                    id: c.id,
+                    row_hit: c.row_hit,
+                },
+            );
+        }
+        if let Some(w) = r.next_wake {
+            let need = match self.dram_pump_at {
+                None => true,
+                Some(t) => w < t,
+            };
+            if need {
+                self.dram_pump_at = Some(w);
+                self.queue.push(w, Ev::DramPump);
+            }
+        }
+    }
+
+    pub(crate) fn dram_done(&mut self, id: u64, _row_hit: bool) {
+        let Some(target) = self.mc.dram_targets.remove(&id) else {
+            return;
+        };
+        match target {
+            DramTarget::DataRead(txn_id) => {
+                self.report.dram_data_reads += 1;
+                if let Some(txn) = self.txns.get_mut(&txn_id) {
+                    txn.mc_data_at = Some(self.now);
+                }
+                self.try_ship_data(txn_id);
+            }
+            DramTarget::NodeFetch { ctr_block } => {
+                self.ctr_node_arrived(ctr_block);
+            }
+            DramTarget::PostedWrite => {}
+            DramTarget::Overflow => {
+                self.mc.overflow.complete_one();
+                self.pump_overflow();
+                if self.mc.overflow.can_add() {
+                    while let Some(line) = self.mc.deferred_wb.pop_front() {
+                        self.mc_writeback(line);
+                        if !self.mc.overflow.can_add() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_dram();
+    }
+
+    // ----- Data reads at the MC --------------------------------------------
+
+    pub(crate) fn mc_data_req(&mut self, txn_id: TxnId, via_xpt: bool) {
+        let (line, already_at_mc, dram_issued, done) = match self.txns.get(&txn_id) {
+            Some(t) => (t.line, t.at_mc, t.dram_issued, t.done),
+            None => return,
+        };
+        if done {
+            return;
+        }
+        // The speculative XPT copy only starts the DRAM read early; the
+        // secure pipeline acts on the confirmed miss (Intel XPT semantics:
+        // the response still flows through the normal path).
+        if !dram_issued {
+            self.txns.get_mut(&txn_id).expect("txn exists").dram_issued = true;
+            self.enqueue_dram(line, false, RequestClass::Data, DramTarget::DataRead(txn_id));
+        }
+        if via_xpt || already_at_mc {
+            return;
+        }
+        {
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.at_mc = true;
+            txn.t_mc_arrival = self.now;
+            txn.from_dram = true;
+        }
+        if !self.cfg.scheme.is_secure() {
+            self.try_ship_data(txn_id);
+            return;
+        }
+        let mc_decrypt = self.txns[&txn_id].mc_decrypt;
+        if mc_decrypt {
+            self.mc_resolve_counter_for_read(txn_id);
+        } else {
+            // EMCC non-offload reads: the L2 handles the counter; the MC
+            // ships ciphertext + MAC⊕dot when data arrives — unless a
+            // counter LLC miss later flips this to `mc_decrypt`.
+            self.try_ship_data(txn_id);
+        }
+    }
+
+    /// Baseline / offload path: find the counter for a data read.
+    fn mc_resolve_counter_for_read(&mut self, txn_id: TxnId) {
+        let line = self.txns[&txn_id].line;
+        let block = self.ctr_block_of(line);
+        let lookup_done = self.now + self.cfg.mc_cache_latency;
+        if self.mc.meta.lookup(block) {
+            let ready = lookup_done + self.cfg.crypto.counter_decode;
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.mc_ctr_ready = Some(ready);
+            txn.ctr_source = Some(CtrSource::Mc);
+            // Start the OTP AES as soon as the counter is decoded.
+            let (_, otp_done) = self.mc.aes.schedule(ready);
+            txn.mc_ctr_ready = Some(otp_done);
+            self.try_ship_data(txn_id);
+        } else {
+            self.mc_fetch_counter(block, Some(txn_id), None, Vec::new());
+        }
+    }
+
+    /// The counter block covering a data line, as a metadata line address.
+    pub(crate) fn ctr_block_of(&self, line: LineAddr) -> LineAddr {
+        let idx = self.tree.geometry().counter_block_of(line);
+        self.tree.geometry().node_addr(0, idx)
+    }
+
+    /// Attempts to respond to a data read: requires data from DRAM plus
+    /// (for MC-decrypt transactions) the finished OTP.
+    pub(crate) fn try_ship_data(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.done || !txn.at_mc {
+            return;
+        }
+        let Some(data_at) = txn.mc_data_at else {
+            return;
+        };
+        let secure = self.cfg.scheme.is_secure();
+        let (ship_at, verified) = if !secure {
+            (data_at.max(self.now), true)
+        } else if txn.mc_decrypt {
+            match txn.mc_ctr_ready {
+                Some(otp_done) => (
+                    data_at.max(otp_done).max(self.now) + self.cfg.crypto.xor_and_compare,
+                    true,
+                ),
+                None => return, // counter fetch still in flight
+            }
+        } else {
+            // EMCC: ship ciphertext + MAC⊕dot (the GF dot product is
+            // parallel and fast — charge the same small constant).
+            (data_at.max(self.now) + self.cfg.crypto.xor_and_compare, false)
+        };
+
+        let core = txn.core;
+        let line = txn.line;
+        if verified && secure {
+            self.report.decrypted_at_mc += 1;
+        }
+        let t_arrival = txn.t_mc_arrival;
+        self.report
+            .secure_access_latency_ns
+            .add_time(ship_at.saturating_sub(t_arrival));
+
+        // Response route: MC → owning slice → L2 (both legs carry data).
+        // Inclusive mode mirrors the fill into the slice it passes.
+        self.inclusive_fill(line, verified);
+        let slice = self.slice_of(line);
+        let t =
+            ship_at + self.noc_slice_mc(slice, true) + self.noc_l2_slice(core, slice, true);
+        self.queue.push(t, Ev::L2Fill { txn: txn_id, verified });
+        // Mark shipped so duplicate calls do nothing.
+        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        txn.mc_data_at = None;
+        if !verified {
+            txn.shipped_unverified = true;
+        }
+    }
+
+    // ----- Counter fetch + verification -------------------------------------
+
+    /// Begins (or joins) resolution of a counter block at the MC.
+    pub(crate) fn mc_fetch_counter(
+        &mut self,
+        block: LineAddr,
+        data_waiter: Option<TxnId>,
+        wb_waiter: Option<LineAddr>,
+        l2_reply: Vec<usize>,
+    ) {
+        let scheme = self.cfg.scheme;
+        let exists = self.mc.ctr_txns.contains_key(&block);
+        let ctr = self.mc.ctr_txns.entry(block).or_default();
+        if let Some(t) = data_waiter {
+            ctr.data_waiters.push(t);
+        }
+        if let Some(w) = wb_waiter {
+            ctr.wb_waiters.push(w);
+        }
+        ctr.l2_reply.extend(l2_reply);
+        if exists {
+            return;
+        }
+        // New resolution: probe the LLC for the block when the scheme
+        // caches counters there; otherwise go straight to DRAM.
+        if scheme.counters_in_llc() {
+            ctr.llc_probe_outstanding = true;
+            ctr.llc_reply = true;
+            self.report.mc_ctr_reqs_to_llc += 1;
+            let slice = self.slice_of(block);
+            let t = self.now + self.noc_slice_mc(slice, false);
+            self.queue.push(
+                t,
+                Ev::SliceCtrReq {
+                    block,
+                    origin: CtrOrigin::Mc,
+                },
+            );
+        } else {
+            self.ctr_start_dram_fetch(block);
+        }
+    }
+
+    /// Fetches the block and its unverified ancestors from DRAM.
+    pub(crate) fn ctr_start_dram_fetch(&mut self, block: LineAddr) {
+        let (level0, idx0) = self.tree.geometry().node_of_addr(block);
+        debug_assert_eq!(level0, 0);
+        // Walk ancestors until one is resident (verified) in the MC cache;
+        // walking *touches* the resident ancestor so hot tree nodes stay
+        // cached.
+        let mut nodes = vec![block];
+        let mut cur = (0u32, idx0);
+        while let Some((lvl, idx)) = self.tree.geometry().parent_of(cur.0, cur.1) {
+            let addr = self.tree.geometry().node_addr(lvl, idx);
+            if self.mc.meta.touch_quiet(addr) {
+                break;
+            }
+            nodes.push(addr);
+            cur = (lvl, idx);
+        }
+        let ctr = self.mc.ctr_txns.get_mut(&block).expect("ctr txn exists");
+        ctr.dram_started = true;
+        ctr.pending_fetches = nodes.len() as u32;
+        ctr.fetched_levels = nodes.len() as u32;
+        ctr.fetched_ancestors = nodes[1..].to_vec();
+        if ctr.source.is_none() {
+            ctr.source = Some(CtrSource::Dram);
+        }
+        for (i, node) in nodes.into_iter().enumerate() {
+            let class = if i == 0 {
+                RequestClass::Counter
+            } else {
+                RequestClass::TreeNode
+            };
+            if !self.enqueue_dram(node, false, class, DramTarget::NodeFetch { ctr_block: block })
+            {
+                // Queue full: model as a short retry by completing later.
+                let ctr = self.mc.ctr_txns.get_mut(&block).expect("ctr txn exists");
+                ctr.pending_fetches -= 1;
+                ctr.fetched_levels -= 1;
+            }
+        }
+        // Degenerate case: every node already cached (only the block was
+        // missing from `lookup` but an earlier txn inserted it).
+        if self.mc.ctr_txns[&block].pending_fetches == 0 {
+            self.queue.push(self.now, Ev::McCtrReady { block });
+        }
+    }
+
+    /// One metadata node arrived from DRAM.
+    pub(crate) fn ctr_node_arrived(&mut self, ctr_block: LineAddr) {
+        let Some(ctr) = self.mc.ctr_txns.get_mut(&ctr_block) else {
+            return;
+        };
+        ctr.pending_fetches = ctr.pending_fetches.saturating_sub(1);
+        if ctr.pending_fetches > 0 {
+            return;
+        }
+        // All nodes here: verify each fetched level (one MAC AES per
+        // level, pipelined on the MC pool) then decode the counter.
+        let levels = ctr.fetched_levels.max(1);
+        let mut done = self.now;
+        for _ in 0..levels {
+            let (_, d) = self.mc.aes.schedule(self.now);
+            done = done.max(d);
+        }
+        let ready = done + self.cfg.crypto.counter_decode;
+        self.queue.push(ready, Ev::McCtrReady { block: ctr_block });
+    }
+
+    /// A counter request (or LLC reply) arrives at the MC.
+    pub(crate) fn mc_ctr_req(&mut self, block: LineAddr, origin: CtrOrigin) {
+        match origin {
+            CtrOrigin::LlcHitReply => {
+                // The LLC had the verified block.
+                if let Some(ctr) = self.mc.ctr_txns.get_mut(&block) {
+                    ctr.llc_probe_outstanding = false;
+                    ctr.source = Some(CtrSource::Llc);
+                    ctr.llc_reply = false; // already in LLC
+                    let decode = self.cfg.crypto.counter_decode;
+                    self.queue.push(self.now + decode, Ev::McCtrReady { block });
+                }
+            }
+            CtrOrigin::Mc => {
+                // Our own probe missed in LLC: fetch from DRAM.
+                if let Some(ctr) = self.mc.ctr_txns.get_mut(&block) {
+                    ctr.llc_probe_outstanding = false;
+                    if !ctr.dram_started {
+                        self.ctr_start_dram_fetch(block);
+                    }
+                }
+            }
+            CtrOrigin::L2 { core } => {
+                // An EMCC L2's parallel counter request missed in LLC.
+                // Per §IV-D the MC takes over decryption for the linked
+                // data accesses and will reply the verified counter to
+                // both LLC and L2.
+                let waiters = self
+                    .l2_ctr_waiters
+                    .get(&(core, block))
+                    .cloned()
+                    .unwrap_or_default();
+                for txn_id in &waiters {
+                    if let Some(txn) = self.txns.get_mut(txn_id) {
+                        // Take over decryption only if the MC has not
+                        // already shipped the ciphertext (fast-DRAM race:
+                        // the L2 then finishes locally once the counter
+                        // arrives).
+                        if !txn.done && !txn.shipped_unverified {
+                            txn.mc_decrypt = true;
+                            txn.ctr_source = Some(CtrSource::Dram);
+                        }
+                    }
+                }
+                // Data transactions already at the MC join as waiters so
+                // their OTPs start the moment the counter verifies.
+                let mc_side: Vec<TxnId> = waiters
+                    .iter()
+                    .copied()
+                    .filter(|t| {
+                        self.txns
+                            .get(t)
+                            .is_some_and(|x| x.at_mc && !x.done && x.mc_decrypt)
+                    })
+                    .collect();
+                let exists = self.mc.ctr_txns.contains_key(&block);
+                if self.mc.meta.lookup(block) && !exists {
+                    // Rare: the MC already holds it (inserted after the
+                    // L2 looked). Reply directly.
+                    self.ctr_reply_to_l2(block, core, self.now + self.cfg.mc_cache_latency);
+                    for txn_id in mc_side {
+                        self.mc_ctr_ready_for_txn(txn_id, self.now + self.cfg.mc_cache_latency);
+                    }
+                    return;
+                }
+                self.mc_fetch_counter_from_l2_path(block, mc_side, core);
+            }
+        }
+    }
+
+    fn mc_fetch_counter_from_l2_path(
+        &mut self,
+        block: LineAddr,
+        data_waiters: Vec<TxnId>,
+        core: usize,
+    ) {
+        let exists = self.mc.ctr_txns.contains_key(&block);
+        let ctr = self.mc.ctr_txns.entry(block).or_default();
+        ctr.data_waiters.extend(data_waiters);
+        if !ctr.l2_reply.contains(&core) {
+            ctr.l2_reply.push(core);
+        }
+        ctr.llc_reply = true;
+        if ctr.source.is_none() {
+            ctr.source = Some(CtrSource::Dram);
+        }
+        if !exists || !ctr.dram_started {
+            // The L2's request already missed LLC — no point probing again.
+            self.ctr_start_dram_fetch(block);
+        }
+    }
+
+    /// The counter block is verified and usable.
+    pub(crate) fn mc_ctr_ready(&mut self, block: LineAddr) {
+        let Some(mut ctr) = self.mc.ctr_txns.remove(&block) else {
+            return;
+        };
+        // Insert the block and its fetched ancestors into the MC's
+        // metadata cache (all verified by now).
+        if let Some(victim) = self.mc.meta.fill(block, BlockKind::Counter, false) {
+            self.meta_victim_writeback(victim.addr, victim.meta.kind);
+        }
+        for node in std::mem::take(&mut ctr.fetched_ancestors) {
+            if let Some(victim) = self.mc.meta.fill(node, BlockKind::TreeNode, false) {
+                self.meta_victim_writeback(victim.addr, victim.meta.kind);
+            }
+        }
+        // Reply to the LLC (the baseline's "second-level counter cache").
+        if ctr.llc_reply {
+            let slice = self.slice_of(block);
+            let victim = self.slices[slice].insert(
+                block,
+                false,
+                crate::system::LlcMeta::verified(BlockKind::Counter),
+            );
+            self.handle_llc_eviction(victim);
+        }
+        // Reply to EMCC L2s.
+        for core in std::mem::take(&mut ctr.l2_reply) {
+            self.ctr_reply_to_l2(block, core, self.now);
+        }
+        // Resume MC-side data reads.
+        let src = ctr.source.unwrap_or(CtrSource::Dram);
+        for txn_id in ctr.data_waiters {
+            if let Some(txn) = self.txns.get_mut(&txn_id) {
+                if txn.ctr_source.is_none() {
+                    txn.ctr_source = Some(src);
+                }
+            }
+            self.mc_ctr_ready_for_txn(txn_id, self.now);
+        }
+        // Resume write-backs.
+        for line in ctr.wb_waiters {
+            self.mc_do_writeback_with_counter(line);
+        }
+    }
+
+    fn mc_ctr_ready_for_txn(&mut self, txn_id: TxnId, ready: Time) {
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        if txn.done || !txn.mc_decrypt || txn.mc_ctr_ready.is_some() {
+            return;
+        }
+        let (_, otp_done) = self.mc.aes.schedule(ready + self.cfg.crypto.counter_decode);
+        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        txn.mc_ctr_ready = Some(otp_done);
+        self.try_ship_data(txn_id);
+    }
+
+    fn ctr_reply_to_l2(&mut self, block: LineAddr, core: usize, ship_at: Time) {
+        let slice = self.slice_of(block);
+        let t = ship_at
+            + self.noc_slice_mc(slice, true)
+            + self.noc_l2_slice(core, slice, true);
+        self.queue.push(t, Ev::L2CtrFill { core, block });
+    }
+
+    // ----- Write-backs -------------------------------------------------------
+
+    pub(crate) fn mc_writeback(&mut self, line: LineAddr) {
+        self.report.writebacks += 1;
+        if !self.cfg.scheme.is_secure() {
+            self.enqueue_dram(line, true, RequestClass::Data, DramTarget::PostedWrite);
+            return;
+        }
+        let block = self.ctr_block_of(line);
+        if self.mc.meta.lookup(block) {
+            self.mc_do_writeback_with_counter(line);
+        } else {
+            self.mc_fetch_counter(block, None, Some(line), Vec::new());
+        }
+    }
+
+    /// Counter block is on hand: bump the counter, encrypt, write.
+    pub(crate) fn mc_do_writeback_with_counter(&mut self, line: LineAddr) {
+        // Overflow admission control (§V: at most two outstanding).
+        if self.tree.would_overflow_data(line) && !self.mc.overflow.can_add() {
+            let _ = self.mc.overflow.try_add(OverflowTask {
+                base: LineAddr::new(0),
+                blocks: 0,
+                level: 0,
+            }); // records the rejection stat
+            self.mc.deferred_wb.push_back(line);
+            return;
+        }
+        let block = self.ctr_block_of(line);
+        let r = self.tree.increment_data(line);
+        self.mc.meta.mark_dirty(block);
+
+        // Coherence: invalidate stale copies in L2s (Fig 23) and LLC.
+        if self.cfg.scheme.is_emcc() {
+            for core in 0..self.cfg.cores {
+                if self.l2[core].cache.contains(block) {
+                    self.evict_l2_ctr_line(core, block, true);
+                }
+            }
+        }
+        if self.cfg.scheme.counters_in_llc() {
+            let slice = self.slice_of(block);
+            self.slices[slice].invalidate(block);
+        }
+
+        if r.overflow.is_some() {
+            let coverage = self.cfg.counter_design.coverage();
+            let cb_idx = self.tree.geometry().counter_block_of(line);
+            let added = self.mc.overflow.try_add(OverflowTask {
+                base: LineAddr::new(cb_idx * coverage),
+                blocks: coverage,
+                level: 0,
+            });
+            debug_assert!(added, "admission control checked capacity");
+            self.pump_overflow();
+        }
+
+        // Encryption + MAC: a write needs 8 AES (4 OTP + 4 MAC words),
+        // charged as two pipelined slots on the deprioritized write pool.
+        let (_, d1) = self.mc.aes_wr.schedule(self.now);
+        let (_, d2) = self.mc.aes_wr.schedule(self.now);
+        let pad_ready = d1.max(d2);
+        // The DRAM write is posted once the ciphertext is ready; enqueue
+        // through a zero-payload event to respect the time.
+        let line_copy = line;
+        self.queue.push(
+            pad_ready,
+            Ev::McWriteIssue { line: line_copy },
+        );
+    }
+
+    pub(crate) fn mc_write_issue(&mut self, line: LineAddr) {
+        if !self.enqueue_dram(line, true, RequestClass::Data, DramTarget::PostedWrite) {
+            // Write queue full: retry shortly.
+            self.queue.push(
+                self.now + Time::from_ns(50),
+                Ev::McWriteIssue { line },
+            );
+        }
+    }
+
+    /// A dirty metadata block leaves the MC cache: write it to DRAM and
+    /// bump its protecting counter (which may overflow at a higher level).
+    pub(crate) fn meta_victim_writeback(&mut self, addr: LineAddr, kind: BlockKind) {
+        let class = match kind {
+            BlockKind::Counter => RequestClass::Counter,
+            _ => RequestClass::TreeNode,
+        };
+        self.enqueue_dram(addr, true, class, DramTarget::PostedWrite);
+        let (level, idx) = self.tree.geometry().node_of_addr(addr);
+        let r = self.tree.increment_node(level, idx);
+        // Mark/insert the parent dirty.
+        if let Some((plvl, pidx)) = self.tree.geometry().parent_of(level, idx) {
+            let paddr = self.tree.geometry().node_addr(plvl, pidx);
+            if !self.mc.meta.mark_dirty(paddr) {
+                if let Some(v) = self.mc.meta.fill(paddr, BlockKind::TreeNode, true) {
+                    self.meta_victim_writeback(v.addr, v.meta.kind);
+                }
+            }
+        }
+        if r.overflow.is_some() {
+            // A level-(level+1) block overflowed: re-MAC its children
+            // (the `level`-level nodes).
+            let arity = self.cfg.counter_design.coverage();
+            let first_child = (idx / arity) * arity;
+            let max_idx = self.tree.geometry().blocks_at_level(level);
+            let blocks = arity.min(max_idx - first_child);
+            let base = self.tree.geometry().node_addr(level, first_child);
+            if self.mc.overflow.can_add() {
+                let added = self.mc.overflow.try_add(OverflowTask {
+                    base,
+                    blocks,
+                    level: level + 1,
+                });
+                debug_assert!(added);
+                self.pump_overflow();
+            }
+            // Else: drop silently — higher-level overflows during a full
+            // engine are vanishingly rare; counted in tree stats anyway.
+        }
+    }
+
+    // ----- Overflow engine ----------------------------------------------------
+
+    pub(crate) fn pump_overflow(&mut self) {
+        while let Some(req) = {
+            // Only pull a request when the DRAM can take it.
+            if self
+                .mc
+                .dram
+                .can_accept(LineAddr::new(0), true)
+            {
+                self.mc.overflow.next_request()
+            } else {
+                None
+            }
+        } {
+            let class = if req.level == 0 {
+                RequestClass::OverflowL0
+            } else {
+                RequestClass::OverflowHigher
+            };
+            let ok = self.enqueue_dram(req.line, req.is_write, class, DramTarget::Overflow);
+            if !ok {
+                // Roll the slot back by treating it as completed; retry on
+                // the next completion.
+                self.mc.overflow.complete_one();
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulation reports: every statistic the paper's figures need.
+
+use emcc_dram::DramStats;
+use emcc_sim::stats::{ratio, RunningMean};
+use emcc_sim::Time;
+
+/// Where a data read's counter was found (Figs 6/7 categories, plus the
+/// EMCC-only L2 category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrSource {
+    /// Hit in the L2 (EMCC only).
+    L2,
+    /// Hit in the MC's private metadata cache.
+    Mc,
+    /// Hit in the LLC.
+    Llc,
+    /// Missed everywhere; fetched from DRAM.
+    Dram,
+}
+
+/// Statistics of one simulation run.
+///
+/// Counters are raw event counts; derived ratios are methods so reports
+/// stay assembleable. All figure-facing quantities are documented with the
+/// figure they feed.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Total simulated time.
+    pub elapsed: Time,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Core memory operations executed (loads + stores).
+    pub mem_ops: u64,
+    /// Core loads that hit L1.
+    pub l1_hits: u64,
+    /// Core data accesses reaching L2.
+    pub l2_accesses: u64,
+    /// Data hits in L2.
+    pub l2_hits: u64,
+    /// Core-demand data misses in L2 (Fig 11/12 denominator).
+    pub l2_data_misses: u64,
+    /// Data hits in LLC.
+    pub llc_data_hits: u64,
+    /// Data misses in LLC (= DRAM data reads for demand traffic).
+    pub llc_data_misses: u64,
+    /// DRAM reads for demand + prefetch data.
+    pub dram_data_reads: u64,
+    /// Data write-backs received by the MC.
+    pub writebacks: u64,
+    /// L2 miss latency for demand loads: L2 miss → verified data at L2
+    /// (Fig 17).
+    pub l2_miss_latency_ns: RunningMean,
+    /// Secure-memory access latency: request at MC → response leaves MC.
+    pub secure_access_latency_ns: RunningMean,
+    /// Counter sourcing for DRAM data reads: [L2, MC, LLC, DRAM]
+    /// (Figs 6/7).
+    pub ctr_source: [u64; 4],
+    /// Counter requests sent from L2s to LLC (Fig 12 numerator, EMCC).
+    pub l2_ctr_reqs_to_llc: u64,
+    /// Counter requests sent from the MC to LLC (Fig 12, baseline).
+    pub mc_ctr_reqs_to_llc: u64,
+    /// Counter lines inserted into L2s (Fig 23 denominator).
+    pub l2_ctr_insertions: u64,
+    /// Counter lines invalidated in L2s by MC updates (Fig 23 numerator).
+    pub l2_ctr_invalidations: u64,
+    /// Counter lines evicted/invalidated from L2 having never been used
+    /// for a DRAM-served data miss (Fig 11 numerator).
+    pub l2_ctr_useless: u64,
+    /// Counter lines evicted/invalidated from L2 that were used.
+    pub l2_ctr_useful: u64,
+    /// DRAM data reads decrypted+verified at an L2 (Fig 19 numerator).
+    pub decrypted_at_l2: u64,
+    /// DRAM data reads decrypted+verified at the MC.
+    pub decrypted_at_mc: u64,
+    /// L2 misses that set the offload bit due to AES queue pressure.
+    pub offloaded_for_bandwidth: u64,
+    /// XPT: requests forwarded early to the MC.
+    pub xpt_forwards: u64,
+    /// XPT: forwarded requests that turned out to hit LLC (wasted DRAM
+    /// bandwidth).
+    pub xpt_wasted: u64,
+    /// Level-0 counter overflows (rebases).
+    pub overflows_l0: u64,
+    /// Level-1+ (tree) overflows.
+    pub overflows_higher: u64,
+    /// Writebacks deferred because two overflows were outstanding.
+    pub overflow_stalls: u64,
+    /// Prefetches issued by the L2 stride prefetcher.
+    pub prefetches: u64,
+    /// EMCC: wait from ciphertext arrival at L2 to verified completion
+    /// (exposed AES latency; ~0 when the overlap works).
+    pub l2_finish_wait_ns: RunningMean,
+    /// EMCC: AES queue delay observed at L2 AES start.
+    pub l2_aes_queue_ns: RunningMean,
+    /// EMCC: peak counter lines resident in any single L2 (budget check).
+    pub l2_ctr_lines_peak: u64,
+    /// §IV-F dynamic disable: sampling windows during which an L2 ran
+    /// with EMCC turned off (0 unless `EmccConfig::dynamic_disable`).
+    pub emcc_disabled_windows: u64,
+    /// §IV-F inclusive mode: DRAM fills inserted into LLC still
+    /// encrypted & unverified.
+    pub llc_unverified_inserts: u64,
+    /// §IV-F inclusive mode: LLC lookups that found only an unverified
+    /// copy (re-fetched through the MC).
+    pub llc_unverified_hits: u64,
+    /// §IV-F inclusive mode: L1/L2 copies back-invalidated by LLC
+    /// evictions.
+    pub inclusive_back_invals: u64,
+    /// DRAM-side statistics (queuing delay, per-class bus busy — Figs 15
+    /// and 22).
+    pub dram: DramStats,
+}
+
+impl SimReport {
+    /// Instructions per nanosecond across all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        // Report IPC per core-cycle at 3.2 GHz equivalents: instructions
+        // per ns divided by 3.2 gives IPC per core aggregate.
+        self.instructions as f64 / self.elapsed.as_ns_f64()
+    }
+
+    /// Runtime-based performance: work per unit time, for normalization
+    /// against a baseline run of the same work.
+    pub fn perf(&self) -> f64 {
+        self.ipc()
+    }
+
+    /// L2 data miss ratio.
+    pub fn l2_miss_rate(&self) -> f64 {
+        ratio(self.l2_data_misses, self.l2_accesses)
+    }
+
+    /// LLC data miss ratio (over LLC data lookups).
+    pub fn llc_miss_rate(&self) -> f64 {
+        ratio(
+            self.llc_data_misses,
+            self.llc_data_misses + self.llc_data_hits,
+        )
+    }
+
+    /// Figs 6/7: fraction of DRAM data reads whose counter hit in the MC
+    /// metadata cache (L2 hits under EMCC count toward on-chip hits).
+    pub fn ctr_mc_hit_frac(&self) -> f64 {
+        let total = self.ctr_source.iter().sum::<u64>();
+        ratio(self.ctr_source[1] + self.ctr_source[0], total)
+    }
+
+    /// Figs 6/7: fraction whose counter hit in the LLC.
+    pub fn ctr_llc_hit_frac(&self) -> f64 {
+        ratio(self.ctr_source[2], self.ctr_source.iter().sum())
+    }
+
+    /// Figs 6/7: fraction whose counter missed on-chip entirely.
+    pub fn ctr_llc_miss_frac(&self) -> f64 {
+        ratio(self.ctr_source[3], self.ctr_source.iter().sum())
+    }
+
+    /// Fig 11: useless counter accesses to LLC per L2 data miss.
+    pub fn useless_ctr_frac(&self) -> f64 {
+        ratio(self.l2_ctr_useless, self.l2_data_misses)
+    }
+
+    /// Fig 12: total counter accesses to LLC per L2 data miss.
+    pub fn ctr_llc_access_frac(&self) -> f64 {
+        ratio(
+            self.l2_ctr_reqs_to_llc + self.mc_ctr_reqs_to_llc,
+            self.l2_data_misses,
+        )
+    }
+
+    /// Fig 19: fraction of DRAM data reads decrypted at L2.
+    pub fn l2_decrypt_frac(&self) -> f64 {
+        ratio(
+            self.decrypted_at_l2,
+            self.decrypted_at_l2 + self.decrypted_at_mc,
+        )
+    }
+
+    /// Fig 23: counter invalidations per counter insertion in L2.
+    pub fn ctr_invalidation_frac(&self) -> f64 {
+        ratio(self.l2_ctr_invalidations, self.l2_ctr_insertions)
+    }
+
+    /// Fig 15-style bandwidth utilization for one traffic class: bus busy
+    /// time over elapsed time (per channel, summed across channels the
+    /// ratio is of aggregate peak).
+    pub fn bandwidth_utilization(&self, class: emcc_dram::RequestClass, channels: u64) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.dram.bus_busy_for(class).as_ns_f64() / (self.elapsed.as_ns_f64() * channels as f64)
+    }
+
+    /// Records a counter sourcing event.
+    pub fn record_ctr_source(&mut self, src: CtrSource) {
+        let i = match src {
+            CtrSource::L2 => 0,
+            CtrSource::Mc => 1,
+            CtrSource::Llc => 2,
+            CtrSource::Dram => 3,
+        };
+        self.ctr_source[i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = SimReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.l2_miss_rate(), 0.0);
+        assert_eq!(r.useless_ctr_frac(), 0.0);
+    }
+
+    #[test]
+    fn ctr_fractions_partition() {
+        let mut r = SimReport::default();
+        for _ in 0..65 {
+            r.record_ctr_source(CtrSource::Mc);
+        }
+        for _ in 0..15 {
+            r.record_ctr_source(CtrSource::Llc);
+        }
+        for _ in 0..20 {
+            r.record_ctr_source(CtrSource::Dram);
+        }
+        let total = r.ctr_mc_hit_frac() + r.ctr_llc_hit_frac() + r.ctr_llc_miss_frac();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((r.ctr_llc_miss_frac() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let r = SimReport {
+            instructions: 3200,
+            elapsed: Time::from_ns(1000),
+            ..SimReport::default()
+        };
+        assert!((r.ipc() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_fracs() {
+        let r = SimReport {
+            l2_data_misses: 100,
+            l2_ctr_useless: 3,
+            l2_ctr_reqs_to_llc: 30,
+            mc_ctr_reqs_to_llc: 5,
+            decrypted_at_l2: 76,
+            decrypted_at_mc: 24,
+            l2_ctr_insertions: 100,
+            l2_ctr_invalidations: 2,
+            ..SimReport::default()
+        };
+        assert!((r.useless_ctr_frac() - 0.03).abs() < 1e-12);
+        assert!((r.ctr_llc_access_frac() - 0.35).abs() < 1e-12);
+        assert!((r.l2_decrypt_frac() - 0.76).abs() < 1e-12);
+        assert!((r.ctr_invalidation_frac() - 0.02).abs() < 1e-12);
+    }
+}

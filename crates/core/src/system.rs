@@ -1,0 +1,1160 @@
+//! The event-driven full-system model.
+//!
+//! One [`SecureSystem`] owns every component and a single time-ordered
+//! event queue. Handlers for the core/L1/L2/LLC side live here; the
+//! memory-controller side (secure pipeline, counter fetch/verify,
+//! write-backs, DRAM glue) lives in [`crate::mc`].
+
+use std::collections::HashMap;
+
+use emcc_cache::{BlockKind, CacheConfig, MshrFile, MshrOutcome, SetAssocCache};
+use emcc_counters::IntegrityTree;
+use emcc_noc::mesh::Node;
+use emcc_noc::SliceMap;
+use emcc_secmem::engine::split_aes_bandwidth;
+use emcc_secmem::{AesPool, MetadataCache, OverflowEngine};
+use emcc_sim::{EventQueue, LineAddr, Time};
+use emcc_workloads::TraceSource;
+
+use crate::config::SystemConfig;
+use crate::core_model::{CoreModel, Stall};
+use crate::mc::{CtrOrigin, McState};
+use crate::report::{CtrSource, SimReport};
+use crate::xpt::XptPredictor;
+
+/// Transaction identifier for in-flight data reads.
+pub(crate) type TxnId = u64;
+
+/// Simulation events.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// Re-evaluate a core's ability to issue.
+    CoreAdvance(usize),
+    /// A load completed; wake the core.
+    LoadComplete { core: usize, token: u64 },
+    /// A request arrives at the L2 (post L1 latency).
+    L2Access {
+        core: usize,
+        line: LineAddr,
+        is_write: bool,
+        token: Option<u64>,
+    },
+    /// EMCC: the serial counter lookup in L2 runs (post data miss).
+    L2CtrLookup { txn: TxnId },
+    /// A data request arrives at an LLC slice.
+    SliceDataReq { txn: TxnId },
+    /// A victim line arrives at an LLC slice.
+    SliceVictim {
+        line: LineAddr,
+        dirty: bool,
+        kind: BlockKind,
+    },
+    /// A counter request arrives at an LLC slice.
+    SliceCtrReq { block: LineAddr, origin: CtrOrigin },
+    /// A data request arrives at the MC.
+    McDataReq { txn: TxnId, via_xpt: bool },
+    /// A counter request arrives at the MC.
+    McCtrReq { block: LineAddr, origin: CtrOrigin },
+    /// A dirty data line arrives at the MC for secure write-back.
+    McWriteback { line: LineAddr },
+    /// A write-back's ciphertext is ready; issue the DRAM write.
+    McWriteIssue { line: LineAddr },
+    /// A verified counter block is ready at the MC.
+    McCtrReady { block: LineAddr },
+    /// Data arrives at the requesting L2.
+    L2Fill { txn: TxnId, verified: bool },
+    /// A counter block arrives at an L2 (EMCC).
+    L2CtrFill { core: usize, block: LineAddr },
+    /// The delayed AES start check fires at an L2 (EMCC).
+    L2AesStart { txn: TxnId },
+    /// An EMCC transaction finishes local decrypt/verify.
+    L2TxnFinish { txn: TxnId },
+    /// Run the DRAM schedulers.
+    DramPump,
+    /// A DRAM access finished.
+    DramDone { id: u64, row_hit: bool },
+}
+
+/// Per-line L2 metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct L2Meta {
+    pub kind: BlockKind,
+    /// EMCC: whether a cached counter line served a DRAM-bound data miss.
+    pub used: bool,
+}
+
+/// Per-line LLC metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LlcMeta {
+    pub kind: BlockKind,
+    /// Inclusive mode (§IV-F): the line holds raw DRAM ciphertext that no
+    /// L2 has verified yet; reset when an L2 writes the line back.
+    pub unverified: bool,
+}
+
+impl LlcMeta {
+    pub(crate) fn verified(kind: BlockKind) -> Self {
+        LlcMeta {
+            kind,
+            unverified: false,
+        }
+    }
+}
+
+/// An L2 MSHR waiter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    pub token: Option<u64>,
+    pub is_write: bool,
+}
+
+/// Per-core L2 state.
+pub(crate) struct L2State {
+    pub cache: SetAssocCache<L2Meta>,
+    pub mshr: MshrFile<Waiter>,
+    pub ctr_lines: u64,
+    /// Counter lines in insertion order (O(1) budget eviction).
+    pub ctr_fifo: std::collections::VecDeque<LineAddr>,
+    pub aes: Option<AesPool>,
+    /// AES slots committed by in-flight misses that have not scheduled
+    /// yet (their start is deferred by the LLC-hit wait); the offload
+    /// decision must count them or bursts overwhelm the pool.
+    pub aes_reserved: u64,
+    /// Stride prefetcher table, indexed by 4 KB region so interleaved
+    /// streams train independently: (last line, last stride, confidence).
+    pub stride: Vec<(u64, i64, u32)>,
+    /// §IV-F dynamic disable: accesses and DRAM-served fills in the
+    /// current sampling window, and whether EMCC is currently off.
+    pub window_accesses: u64,
+    pub window_dram_fills: u64,
+    pub emcc_disabled: bool,
+}
+
+/// An in-flight data read (demand or prefetch).
+#[derive(Debug)]
+pub(crate) struct DataTxn {
+    pub core: usize,
+    pub line: LineAddr,
+    pub is_prefetch: bool,
+    /// Time of the L2 miss (t=0 of Figs 10/13 timelines).
+    pub t_miss: Time,
+    /// The MC must decrypt (offload, counter missed LLC, or baseline).
+    pub mc_decrypt: bool,
+    /// EMCC: counter value availability time at the L2.
+    pub l2_ctr_ready: Option<Time>,
+    /// EMCC: local AES completion time.
+    pub aes_done: Option<Time>,
+    pub aes_started: bool,
+    /// Ciphertext arrival time at L2 (unverified fill waiting for AES).
+    pub cipher_at: Option<Time>,
+    /// The MC already shipped this read as unverified ciphertext — the L2
+    /// *must* finish it locally, even if a later counter LLC-miss tried to
+    /// flip responsibility to the MC (the fast-DRAM race).
+    pub shipped_unverified: bool,
+    /// Holds an unspent L2 AES reservation.
+    pub aes_reserved: bool,
+    /// The confirmed miss request reached the MC.
+    pub at_mc: bool,
+    /// The DRAM data read has been issued (possibly speculatively by XPT).
+    pub dram_issued: bool,
+    pub t_mc_arrival: Time,
+    /// XPT forwarded this request early.
+    pub xpt_forwarded: bool,
+    /// MC-side: counter ready time (baseline / mc-decrypt paths).
+    pub mc_ctr_ready: Option<Time>,
+    /// MC-side: data arrived from DRAM at this time.
+    pub mc_data_at: Option<Time>,
+    /// Where this read's counter was found (recorded once, DRAM reads).
+    pub ctr_source: Option<CtrSource>,
+    /// Served from DRAM (vs LLC hit).
+    pub from_dram: bool,
+    pub done: bool,
+}
+
+/// The assembled system.
+pub struct SecureSystem {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) now: Time,
+    pub(crate) cores: Vec<CoreModel>,
+    pub(crate) l1: Vec<SetAssocCache<()>>,
+    pub(crate) l2: Vec<L2State>,
+    pub(crate) slices: Vec<SetAssocCache<LlcMeta>>,
+    pub(crate) slice_map: SliceMap,
+    pub(crate) mc: McState,
+    pub(crate) tree: IntegrityTree,
+    pub(crate) xpt: Vec<XptPredictor>,
+    pub(crate) txns: HashMap<TxnId, DataTxn>,
+    pub(crate) next_txn: TxnId,
+    /// EMCC: txns waiting for a counter block to arrive at their L2.
+    pub(crate) l2_ctr_waiters: HashMap<(usize, LineAddr), Vec<TxnId>>,
+    pub(crate) report: SimReport,
+    pub(crate) dram_pump_at: Option<Time>,
+    warmup_ops: u64,
+    warmup_done: bool,
+    measure_start: Time,
+    insts_at_measure_start: u64,
+}
+
+impl std::fmt::Debug for SecureSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureSystem")
+            .field("now", &self.now)
+            .field("txns_inflight", &self.txns.len())
+            .finish()
+    }
+}
+
+impl SecureSystem {
+    /// Builds a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        // AES units are provisioned for the memory system's peak access
+        // rate (§V sizes 2.6 G AES/s from one DDR4-3200 channel's 400 M
+        // accesses/s), so the pool scales with channel count.
+        let channels = cfg.dram.channels as f64;
+        let (mc_bw, l2_bw) = if cfg.scheme.is_emcc() {
+            split_aes_bandwidth(cfg.emcc.aes_fraction_to_l2, cfg.cores)
+        } else {
+            split_aes_bandwidth(0.0, cfg.cores)
+        };
+        let (mc_bw, l2_bw) = (mc_bw * channels, l2_bw * channels);
+        let l2 = (0..cfg.cores)
+            .map(|_| L2State {
+                cache: SetAssocCache::new(CacheConfig::new(cfg.l2_size, cfg.l2_ways)),
+                mshr: MshrFile::new(32),
+                ctr_lines: 0,
+                ctr_fifo: std::collections::VecDeque::new(),
+                aes_reserved: 0,
+                aes: (cfg.scheme.is_emcc() && l2_bw > 0.0)
+                    .then(|| AesPool::new(l2_bw, cfg.crypto.aes)),
+                stride: vec![(0, 0, 0); 64],
+                window_accesses: 0,
+                window_dram_fills: 0,
+                emcc_disabled: false,
+            })
+            .collect();
+        let slices = (0..cfg.llc_slices)
+            .map(|_| SetAssocCache::new(CacheConfig::new(cfg.llc_slice_size, cfg.llc_ways)))
+            .collect();
+        let mc = McState {
+            meta: MetadataCache::new(cfg.mc_cache_size, cfg.mc_cache_ways),
+            aes: AesPool::new(mc_bw.max(1.0), cfg.crypto.aes),
+            aes_wr: AesPool::new(mc_bw.max(1.0), cfg.crypto.aes),
+            overflow: OverflowEngine::new(),
+            ctr_txns: HashMap::new(),
+            dram_targets: HashMap::new(),
+            next_dram_id: 1,
+            dram: emcc_dram::Dram::new(cfg.dram),
+            deferred_wb: std::collections::VecDeque::new(),
+        };
+        SecureSystem {
+            l1: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(CacheConfig::new(cfg.l1_size, cfg.l1_ways)))
+                .collect(),
+            xpt: (0..cfg.cores).map(|_| XptPredictor::new(4096)).collect(),
+            slice_map: SliceMap::new(cfg.llc_slices),
+            tree: IntegrityTree::new(cfg.counter_design, cfg.data_lines),
+            cores: Vec::new(),
+            l2,
+            slices,
+            mc,
+            queue: EventQueue::with_capacity(1 << 16),
+            now: Time::ZERO,
+            txns: HashMap::new(),
+            next_txn: 1,
+            l2_ctr_waiters: HashMap::new(),
+            report: SimReport::default(),
+            dram_pump_at: None,
+            warmup_ops: 0,
+            warmup_done: true,
+            measure_start: Time::ZERO,
+            insts_at_measure_start: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs `ops_per_core` memory operations from each source to
+    /// completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` does not supply one trace per configured core.
+    pub fn run(self, sources: Vec<Box<dyn TraceSource>>, ops_per_core: u64) -> SimReport {
+        self.run_with_warmup(sources, 0, ops_per_core)
+    }
+
+    /// Runs `warmup_ops` per core (warming caches, counters and
+    /// predictors), resets all statistics, then measures `ops_per_core`
+    /// more — mirroring the paper's §V warmup-then-measure methodology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` does not supply one trace per configured core.
+    pub fn run_with_warmup(
+        mut self,
+        sources: Vec<Box<dyn TraceSource>>,
+        warmup_ops: u64,
+        ops_per_core: u64,
+    ) -> SimReport {
+        assert_eq!(
+            sources.len(),
+            self.cfg.cores,
+            "need one trace source per core"
+        );
+        self.warmup_ops = warmup_ops;
+        self.warmup_done = warmup_ops == 0;
+        self.report.scheme = self.cfg.scheme.to_string();
+        for (i, src) in sources.into_iter().enumerate() {
+            if i == 0 {
+                self.report.benchmark = src.name().to_string();
+            }
+            self.cores.push(CoreModel::new(
+                src,
+                self.cfg.freq,
+                self.cfg.width,
+                self.cfg.rob_entries,
+                self.cfg.max_outstanding_loads,
+                warmup_ops + ops_per_core,
+            ));
+            self.queue.push(Time::ZERO, Ev::CoreAdvance(i));
+        }
+
+        let mut timed_out = false;
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            if t > self.cfg.max_sim_time {
+                timed_out = true;
+                break;
+            }
+            self.dispatch(ev);
+            if !self.warmup_done
+                && self
+                    .cores
+                    .iter()
+                    .all(|c| c.issued_ops() >= self.warmup_ops)
+            {
+                self.end_warmup();
+            }
+            if self.cores.iter().all(|c| c.finished()) {
+                break;
+            }
+        }
+        // A drained queue with unfinished cores means a lost wake-up — a
+        // simulator bug that must never pass silently as a "result".
+        assert!(
+            timed_out || self.cores.iter().all(|c| c.finished()),
+            "event queue drained with {} unfinished core(s) at {} — lost wakeup",
+            self.cores.iter().filter(|c| !c.finished()).count(),
+            self.now
+        );
+        self.finalize()
+    }
+
+    fn end_warmup(&mut self) {
+        self.warmup_done = true;
+        self.measure_start = self.now;
+        self.insts_at_measure_start = self.cores.iter().map(|c| c.retired_insts()).sum();
+        let benchmark = std::mem::take(&mut self.report.benchmark);
+        let scheme = std::mem::take(&mut self.report.scheme);
+        self.report = SimReport {
+            benchmark,
+            scheme,
+            ..SimReport::default()
+        };
+        self.mc.dram.reset_stats();
+        self.mc.meta.reset_stats();
+    }
+
+    fn finalize(mut self) -> SimReport {
+        self.report.elapsed = self.now.saturating_sub(self.measure_start);
+        self.report.instructions = self
+            .cores
+            .iter()
+            .map(|c| c.retired_insts())
+            .sum::<u64>()
+            .saturating_sub(self.insts_at_measure_start);
+        self.report.mem_ops = self
+            .cores
+            .iter()
+            .map(|c| c.issued_ops())
+            .sum::<u64>()
+            .saturating_sub(self.warmup_ops * self.cfg.cores as u64);
+        self.report.dram = self.mc.dram.stats();
+        let of = self.tree.overflows_by_level();
+        self.report.overflows_l0 = of.first().copied().unwrap_or(0);
+        self.report.overflows_higher = of.iter().skip(1).sum();
+        self.report.overflow_stalls = self.mc.overflow.rejected();
+        // Counter lines still resident at simulation end are *not*
+        // classified: the paper's Fig 11 counts lines "never used ...
+        // between the time the counter is inserted into L2 and is evicted
+        // from L2", which is undetermined for residents.
+        self.report
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::CoreAdvance(core) => self.core_advance(core),
+            Ev::LoadComplete { core, token } => {
+                self.cores[core].complete_load(token, self.now);
+                self.core_advance(core);
+            }
+            Ev::L2Access {
+                core,
+                line,
+                is_write,
+                token,
+            } => self.l2_access(core, line, is_write, token),
+            Ev::L2CtrLookup { txn } => self.l2_ctr_lookup(txn),
+            Ev::SliceDataReq { txn } => self.slice_data_req(txn),
+            Ev::SliceVictim { line, dirty, kind } => self.slice_victim(line, dirty, kind),
+            Ev::SliceCtrReq { block, origin } => self.slice_ctr_req(block, origin),
+            Ev::McDataReq { txn, via_xpt } => self.mc_data_req(txn, via_xpt),
+            Ev::McCtrReq { block, origin } => self.mc_ctr_req(block, origin),
+            Ev::McWriteback { line } => self.mc_writeback(line),
+            Ev::McWriteIssue { line } => self.mc_write_issue(line),
+            Ev::McCtrReady { block } => self.mc_ctr_ready(block),
+            Ev::L2Fill { txn, verified } => self.l2_fill(txn, verified),
+            Ev::L2CtrFill { core, block } => self.l2_ctr_fill(core, block),
+            Ev::L2AesStart { txn } => self.l2_aes_start(txn),
+            Ev::L2TxnFinish { txn } => self.l2_txn_finish(txn),
+            Ev::DramPump => {
+                self.dram_pump_at = None;
+                self.pump_dram();
+            }
+            Ev::DramDone { id, row_hit } => self.dram_done(id, row_hit),
+        }
+    }
+
+    // ----- NoC latency helpers -------------------------------------------
+
+    pub(crate) fn noc_l2_slice(&self, core: usize, slice: usize, payload: bool) -> Time {
+        let a = Node::Core(self.cfg.core_position(core));
+        let b = Node::Core(self.cfg.slice_position(slice));
+        self.cfg.noc.between(&self.cfg.mesh, a, b, payload)
+    }
+
+    pub(crate) fn noc_slice_mc(&self, slice: usize, payload: bool) -> Time {
+        let a = Node::Core(self.cfg.slice_position(slice));
+        self.cfg.noc.between(&self.cfg.mesh, a, Node::Mc(0), payload)
+    }
+
+    pub(crate) fn noc_l2_mc(&self, core: usize, payload: bool) -> Time {
+        let a = Node::Core(self.cfg.core_position(core));
+        self.cfg.noc.between(&self.cfg.mesh, a, Node::Mc(0), payload)
+    }
+
+    pub(crate) fn slice_of(&self, line: LineAddr) -> usize {
+        self.slice_map.slice_of(line)
+    }
+
+    // ----- Core + L1 ------------------------------------------------------
+
+    fn core_advance(&mut self, core: usize) {
+        loop {
+            match self.cores[core].advance(self.now) {
+                Ok(issue) => {
+                    self.l1_access(core, issue.op, issue.load_token);
+                }
+                Err(Stall::UntilTime(t)) => {
+                    self.queue.push(t, Ev::CoreAdvance(core));
+                    return;
+                }
+                Err(Stall::OnLoad) => return,
+                Err(Stall::Finished) => return,
+            }
+        }
+    }
+
+    fn l1_access(&mut self, core: usize, op: emcc_workloads::MemOp, token: u64) {
+        let hit = self.l1[core].touch(op.line);
+        if hit {
+            self.report.l1_hits += 1;
+            if op.is_write {
+                self.l1[core].mark_dirty(op.line);
+            } else {
+                self.queue.push(
+                    self.now + self.cfg.l1_latency,
+                    Ev::LoadComplete { core, token },
+                );
+            }
+            return;
+        }
+        // L1 miss: go to L2 after the L1 tag check.
+        self.queue.push(
+            self.now + self.cfg.l1_latency,
+            Ev::L2Access {
+                core,
+                line: op.line,
+                is_write: op.is_write,
+                token: (!op.is_write).then_some(token),
+            },
+        );
+    }
+
+    /// Fills a line into L1, sinking any dirty victim into L2.
+    fn l1_fill(&mut self, core: usize, line: LineAddr, dirty: bool) {
+        if let Some(victim) = self.l1[core].insert(line, dirty, ()) {
+            if victim.dirty {
+                // L1 victim write-back: non-inclusive, allocate in L2.
+                let meta = L2Meta {
+                    kind: BlockKind::Data,
+                    used: false,
+                };
+                if self.l2[core].cache.contains(victim.addr) {
+                    self.l2[core].cache.mark_dirty(victim.addr);
+                } else if let Some(l2v) = self.l2[core].cache.insert(victim.addr, true, meta) {
+                    self.l2_victim(core, l2v);
+                }
+            }
+        }
+    }
+
+    // ----- L2 -------------------------------------------------------------
+
+    fn l2_access(&mut self, core: usize, line: LineAddr, is_write: bool, token: Option<u64>) {
+        self.report.l2_accesses += 1;
+        self.sample_intensity(core);
+        let t_done = self.now + self.cfg.l2_latency;
+        let hit = self.l2[core].cache.touch(line);
+        if hit {
+            self.report.l2_hits += 1;
+            if is_write {
+                self.l2[core].cache.mark_dirty(line);
+            }
+            self.l1_fill(core, line, false);
+            if let Some(token) = token {
+                self.queue.push(t_done, Ev::LoadComplete { core, token });
+            }
+            return;
+        }
+
+        // L2 miss.
+        self.report.l2_data_misses += 1;
+        self.train_prefetcher(core, line);
+        let waiter = Waiter {
+            token,
+            is_write,
+        };
+        match self.l2[core].mshr.allocate(line, waiter) {
+            MshrOutcome::Merged => return,
+            MshrOutcome::Full => {
+                // Stall-free simplification: merge anyway by retrying
+                // shortly (queues are generously sized; rare).
+                self.queue.push(
+                    t_done + Time::from_ns(2),
+                    Ev::L2Access {
+                        core,
+                        line,
+                        is_write,
+                        token,
+                    },
+                );
+                self.report.l2_data_misses -= 1;
+                return;
+            }
+            MshrOutcome::Allocated => {}
+        }
+        self.start_data_txn(core, line, false, t_done);
+    }
+
+    /// Creates a data-read transaction and launches requests.
+    pub(crate) fn start_data_txn(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        is_prefetch: bool,
+        t_miss: Time,
+    ) {
+        let id = self.next_txn;
+        self.next_txn += 1;
+
+        // EMCC: adaptive offload decision, made at miss time from the
+        // local AES queue (§IV-D). The effective queue includes slots
+        // committed by earlier misses whose AES start is still deferred.
+        let mut offload_bit = false;
+        let mut reserved_aes = false;
+        if self.cfg.scheme.is_emcc() {
+            if self.l2[core].emcc_disabled {
+                // §IV-F: the application is not memory-intensive; keep
+                // everything at the MC (no counter caching, no L2 AES).
+                offload_bit = true;
+            } else if let Some(pool) = &self.l2[core].aes {
+                let effective =
+                    pool.queue_delay(t_miss) + pool.interval() * self.l2[core].aes_reserved;
+                if effective > self.cfg.emcc.offload_threshold {
+                    offload_bit = true;
+                    self.report.offloaded_for_bandwidth += 1;
+                } else {
+                    self.l2[core].aes_reserved += 1;
+                    reserved_aes = true;
+                }
+            } else {
+                offload_bit = true;
+            }
+        }
+
+        // XPT: predict LLC outcome; forward to MC in parallel on a
+        // predicted miss.
+        let xpt_forwarded = self.cfg.xpt_enabled && self.xpt[core].predict_miss(line);
+
+        self.txns.insert(
+            id,
+            DataTxn {
+                core,
+                line,
+                is_prefetch,
+                t_miss,
+                mc_decrypt: !self.cfg.scheme.is_emcc() || offload_bit,
+                l2_ctr_ready: None,
+                aes_done: None,
+                aes_started: false,
+                cipher_at: None,
+                shipped_unverified: false,
+                aes_reserved: reserved_aes,
+                at_mc: false,
+                dram_issued: false,
+                t_mc_arrival: Time::ZERO,
+                xpt_forwarded,
+                mc_ctr_ready: None,
+                mc_data_at: None,
+                ctr_source: None,
+                from_dram: false,
+                done: false,
+            },
+        );
+
+        let slice = self.slice_of(line);
+        let t_slice = t_miss + self.noc_l2_slice(core, slice, false);
+        self.queue.push(t_slice, Ev::SliceDataReq { txn: id });
+        if xpt_forwarded {
+            self.report.xpt_forwards += 1;
+            let t_mc = t_miss + self.noc_l2_mc(core, false);
+            self.queue.push(
+                t_mc,
+                Ev::McDataReq {
+                    txn: id,
+                    via_xpt: true,
+                },
+            );
+        }
+        // EMCC: serial counter lookup in L2 during spare cycles.
+        if self.cfg.scheme.is_emcc() && !offload_bit {
+            self.queue.push(
+                t_miss + self.cfg.emcc.ctr_lookup_delay,
+                Ev::L2CtrLookup { txn: id },
+            );
+        }
+    }
+
+    /// EMCC: look the data's counter block up in the local L2.
+    fn l2_ctr_lookup(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.done {
+            return;
+        }
+        let core = txn.core;
+        let line = txn.line;
+        let cb_idx = self.tree.geometry().counter_block_of(line);
+        let block = self.tree.geometry().node_addr(0, cb_idx);
+        let t_miss = txn.t_miss;
+
+        if self.l2[core].cache.touch(block) {
+            // Counter hit in L2.
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.l2_ctr_ready = Some(self.now);
+            txn.ctr_source = Some(CtrSource::L2);
+            let start = self.now.max(t_miss + self.cfg.emcc.aes_start_wait);
+            self.queue.push(start, Ev::L2AesStart { txn: txn_id });
+        } else {
+            // Counter miss in L2: speculatively request it from LLC, in
+            // parallel with the outstanding data access.
+            let waiters = self
+                .l2_ctr_waiters
+                .entry((core, block))
+                .or_default();
+            waiters.push(txn_id);
+            if waiters.len() == 1 {
+                self.report.l2_ctr_reqs_to_llc += 1;
+                let slice = self.slice_of(block);
+                let t = self.now + self.noc_l2_slice(core, slice, false);
+                self.queue.push(
+                    t,
+                    Ev::SliceCtrReq {
+                        block,
+                        origin: CtrOrigin::L2 { core },
+                    },
+                );
+            }
+        }
+    }
+
+    // ----- LLC slices -----------------------------------------------------
+
+    fn slice_data_req(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.done {
+            return;
+        }
+        let line = txn.line;
+        let core = txn.core;
+        let slice = self.slice_of(line);
+        let t_lookup = self.now + self.cfg.llc_sram_latency;
+        // Inclusive mode: a hit on an *encrypted & unverified* line cannot
+        // be served from the LLC; the paper fetches from an owning L2, but
+        // our private-workload model has no second owner, so we re-fetch
+        // through the MC (counted — it is rare).
+        let unverified_hit = self.cfg.inclusive_llc
+            && self.slices[slice]
+                .peek(line)
+                .is_some_and(|m| m.unverified);
+        let hit = !unverified_hit && self.slices[slice].touch(line);
+        self.xpt[core].train(line, !hit);
+        if unverified_hit {
+            self.report.llc_unverified_hits += 1;
+        }
+        if hit {
+            self.report.llc_data_hits += 1;
+            if txn.xpt_forwarded {
+                self.report.xpt_wasted += 1;
+            }
+            // LLC data is plaintext (it was decrypted on its way into L2
+            // originally); respond directly.
+            let t = t_lookup + self.noc_l2_slice(core, slice, true);
+            self.queue.push(
+                t,
+                Ev::L2Fill {
+                    txn: txn_id,
+                    verified: true,
+                },
+            );
+        } else {
+            self.report.llc_data_misses += 1;
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.from_dram = true;
+            if txn.xpt_forwarded {
+                self.xpt[core].record_correct();
+            }
+            // The confirmed miss always travels to the MC: even under XPT
+            // (which only started the DRAM read early), the MC's secure
+            // pipeline acts on the confirmed request.
+            let t = t_lookup + self.noc_slice_mc(slice, false);
+            self.queue.push(
+                t,
+                Ev::McDataReq {
+                    txn: txn_id,
+                    via_xpt: false,
+                },
+            );
+        }
+    }
+
+    fn slice_victim(&mut self, line: LineAddr, dirty: bool, kind: BlockKind) {
+        let slice = self.slice_of(line);
+        if kind == BlockKind::Counter {
+            // Counter lines in L2 are clean copies; dropping them costs
+            // nothing (the LLC may still hold its own copy).
+            return;
+        }
+        // An L2 write-back (clean or dirty) always carries verified
+        // plaintext, so it clears any inclusive-mode unverified bit.
+        let victim = self.slices[slice].insert(line, dirty, LlcMeta::verified(kind));
+        self.handle_llc_eviction(victim);
+    }
+
+    /// Disposes of an evicted LLC line: dirty data goes to the MC; in
+    /// inclusive mode, L1/L2 copies are back-invalidated (dirty L2 copies
+    /// supersede the LLC's and write back instead).
+    pub(crate) fn handle_llc_eviction(
+        &mut self,
+        victim: Option<emcc_cache::EvictedLine<LlcMeta>>,
+    ) {
+        let Some(victim) = victim else {
+            return;
+        };
+        if victim.meta.kind != BlockKind::Data {
+            return;
+        }
+        let mut newer_dirty_in_l2 = false;
+        if self.cfg.inclusive_llc {
+            for core in 0..self.cfg.cores {
+                self.l1[core].invalidate(victim.addr);
+                if let Some(ev) = self.l2[core].cache.invalidate(victim.addr) {
+                    self.report.inclusive_back_invals += 1;
+                    newer_dirty_in_l2 |= ev.dirty;
+                }
+            }
+        }
+        // Unverified lines mirror DRAM exactly; nothing to write back.
+        let needs_wb = (victim.dirty || newer_dirty_in_l2) && !victim.meta.unverified;
+        if needs_wb {
+            let slice = self.slice_of(victim.addr);
+            let t = self.now + self.noc_slice_mc(slice, true);
+            self.queue.push(t, Ev::McWriteback { line: victim.addr });
+        }
+    }
+
+    /// Inclusive mode: mirror a DRAM fill into the LLC on the response
+    /// path, marked unverified when the fill is EMCC ciphertext.
+    pub(crate) fn inclusive_fill(&mut self, line: LineAddr, verified: bool) {
+        if !self.cfg.inclusive_llc {
+            return;
+        }
+        let slice = self.slice_of(line);
+        if !verified {
+            self.report.llc_unverified_inserts += 1;
+        }
+        let meta = LlcMeta {
+            kind: BlockKind::Data,
+            unverified: !verified,
+        };
+        let victim = self.slices[slice].insert(line, false, meta);
+        self.handle_llc_eviction(victim);
+    }
+
+    fn slice_ctr_req(&mut self, block: LineAddr, origin: CtrOrigin) {
+        let slice = self.slice_of(block);
+        let t_lookup = self.now + self.cfg.llc_sram_latency;
+        if self.slices[slice].touch(block) {
+            match origin {
+                CtrOrigin::L2 { core } => {
+                    // 'L' + 'M' of Fig 13: data-array read then a payload-
+                    // carrying response back to the L2.
+                    let t = t_lookup + self.noc_l2_slice(core, slice, true);
+                    self.queue.push(t, Ev::L2CtrFill { core, block });
+                }
+                CtrOrigin::Mc => {
+                    let t = t_lookup + self.noc_slice_mc(slice, true);
+                    self.queue.push(
+                        t,
+                        Ev::McCtrReq {
+                            block,
+                            origin: CtrOrigin::LlcHitReply,
+                        },
+                    );
+                }
+                CtrOrigin::LlcHitReply => unreachable!("reply origin never queries LLC"),
+            }
+        } else {
+            // Miss: forward to MC (who will fetch + verify from DRAM).
+            let t = t_lookup + self.noc_slice_mc(slice, false);
+            self.queue.push(t, Ev::McCtrReq { block, origin });
+        }
+    }
+
+    // ----- L2 fills and EMCC completion ------------------------------------
+
+    fn l2_fill(&mut self, txn_id: TxnId, verified: bool) {
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        if txn.done {
+            return;
+        }
+        if verified {
+            self.complete_txn(txn_id, self.now);
+            return;
+        }
+        // Unverified ciphertext under EMCC: finish locally once AES done.
+        txn.cipher_at = Some(self.now);
+        if let Some(aes_done) = txn.aes_done {
+            let t = self.now.max(aes_done) + self.cfg.crypto.xor_and_compare;
+            self.queue.push(t, Ev::L2TxnFinish { txn: txn_id });
+        }
+        // Otherwise the AES completion (or counter arrival) path schedules
+        // the finish.
+    }
+
+    fn l2_ctr_fill(&mut self, core: usize, block: LineAddr) {
+        if self.l2[core].cache.contains(block) {
+            // Duplicate fill (racing requests); just wake waiters.
+            self.wake_ctr_waiters(core, block);
+            return;
+        }
+        // Insert the counter block into L2 under the 32 KB budget. The
+        // budget evicts in insertion order (FIFO over counter lines) —
+        // an O(1) approximation of global-LRU.
+        self.report.l2_ctr_insertions += 1;
+        let budget = self.cfg.emcc.l2_counter_budget_lines;
+        while self.l2[core].ctr_lines >= budget.max(1) {
+            match self.l2[core].ctr_fifo.pop_front() {
+                Some(old) => {
+                    // May already be gone (invalidated / evicted).
+                    if self.l2[core].cache.contains(old) {
+                        self.evict_l2_ctr_line(core, old, false);
+                    } else {
+                        continue;
+                    }
+                }
+                None => break,
+            }
+        }
+        let meta = L2Meta {
+            kind: BlockKind::Counter,
+            used: false,
+        };
+        if let Some(victim) = self.l2[core].cache.insert(block, false, meta) {
+            self.l2_victim(core, victim);
+        }
+        self.l2[core].ctr_lines += 1;
+        self.l2[core].ctr_fifo.push_back(block);
+        self.report.l2_ctr_lines_peak = self.report.l2_ctr_lines_peak.max(self.l2[core].ctr_lines);
+        self.wake_ctr_waiters(core, block);
+    }
+
+    /// Wakes transactions waiting on a counter block at an L2.
+    fn wake_ctr_waiters(&mut self, core: usize, block: LineAddr) {
+        let waiters = self
+            .l2_ctr_waiters
+            .remove(&(core, block))
+            .unwrap_or_default();
+        for txn_id in waiters {
+            let Some(txn) = self.txns.get_mut(&txn_id) else {
+                continue;
+            };
+            if txn.done || (txn.mc_decrypt && !txn.shipped_unverified) {
+                continue;
+            }
+            txn.l2_ctr_ready = Some(self.now);
+            if txn.ctr_source.is_none() {
+                txn.ctr_source = Some(CtrSource::Llc);
+            }
+            let start = self.now.max(txn.t_miss + self.cfg.emcc.aes_start_wait);
+            self.queue.push(start, Ev::L2AesStart { txn: txn_id });
+        }
+    }
+
+    fn l2_aes_start(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.done
+            || txn.aes_started
+            || txn.l2_ctr_ready.is_none()
+            || (txn.mc_decrypt && !txn.shipped_unverified)
+        {
+            return;
+        }
+        let core = txn.core;
+        let decode = self.cfg.crypto.counter_decode;
+        let Some(pool) = self.l2[core].aes.as_mut() else {
+            return;
+        };
+        let qd = pool.queue_delay(self.now + decode);
+        let (_, done) = pool.schedule(self.now + decode);
+        self.report.l2_aes_queue_ns.add_time(qd);
+        if self.txns[&txn_id].aes_reserved {
+            self.txns.get_mut(&txn_id).expect("txn exists").aes_reserved = false;
+            self.l2[core].aes_reserved = self.l2[core].aes_reserved.saturating_sub(1);
+        }
+        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        txn.aes_started = true;
+        txn.aes_done = Some(done);
+        // The counter's value is consumed now: mark the cached counter
+        // line used (AES only starts once an LLC hit has been ruled out).
+        let line = txn.line;
+        let cb_idx = self.tree.geometry().counter_block_of(line);
+        let block = self.tree.geometry().node_addr(0, cb_idx);
+        if let Some(meta) = self.l2[core].cache.get_mut(block) {
+            meta.used = true;
+        }
+        if let Some(cipher_at) = txn.cipher_at {
+            let t = cipher_at.max(done) + self.cfg.crypto.xor_and_compare;
+            self.queue.push(t, Ev::L2TxnFinish { txn: txn_id });
+        }
+    }
+
+    fn l2_txn_finish(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.done {
+            return;
+        }
+        self.report.decrypted_at_l2 += 1;
+        if let Some(cipher_at) = txn.cipher_at {
+            self.report
+                .l2_finish_wait_ns
+                .add_time(self.now.saturating_sub(cipher_at));
+        }
+        // Mark the supplying counter line as used (Fig 11 accounting).
+        let core = txn.core;
+        let line = txn.line;
+        if txn.l2_ctr_ready.is_some() {
+            let cb_idx = self.tree.geometry().counter_block_of(line);
+            let block = self.tree.geometry().node_addr(0, cb_idx);
+            if let Some(meta) = self.l2[core].cache.get_mut(block) {
+                meta.used = true;
+            }
+        }
+        self.complete_txn(txn_id, self.now);
+    }
+
+    /// Final completion: fill caches, wake waiters, record stats.
+    pub(crate) fn complete_txn(&mut self, txn_id: TxnId, t: Time) {
+        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        txn.done = true;
+        let core = txn.core;
+        let line = txn.line;
+        let is_prefetch = txn.is_prefetch;
+        let t_miss = txn.t_miss;
+        let from_dram = txn.from_dram;
+        let ctr_source = txn.ctr_source;
+        if txn.aes_reserved {
+            txn.aes_reserved = false;
+            self.l2[core].aes_reserved = self.l2[core].aes_reserved.saturating_sub(1);
+        }
+
+        if from_dram {
+            self.l2[core].window_dram_fills += 1;
+            if let Some(src) = ctr_source {
+                self.report.record_ctr_source(src);
+            }
+        }
+        if !is_prefetch {
+            self.report
+                .l2_miss_latency_ns
+                .add_time(t.saturating_sub(t_miss));
+        }
+
+        // Fill L2; dirty if any waiter was a write (RFO).
+        let waiters = self.l2[core].mshr.complete(line);
+        let dirty = waiters.iter().any(|w| w.is_write);
+        let meta = L2Meta {
+            kind: BlockKind::Data,
+            used: false,
+        };
+        if let Some(victim) = self.l2[core].cache.insert(line, dirty, meta) {
+            self.l2_victim(core, victim);
+        }
+        if !is_prefetch {
+            self.l1_fill(core, line, false);
+        }
+        for w in waiters {
+            if let Some(token) = w.token {
+                self.queue.push(t, Ev::LoadComplete { core, token });
+            }
+        }
+        self.txns.remove(&txn_id);
+    }
+
+    /// Handles an L2 victim line: counters are dropped (with Fig 11
+    /// accounting), data victims travel to the LLC.
+    pub(crate) fn l2_victim(&mut self, core: usize, victim: emcc_cache::EvictedLine<L2Meta>) {
+        match victim.meta.kind {
+            BlockKind::Counter => {
+                self.l2[core].ctr_lines = self.l2[core].ctr_lines.saturating_sub(1);
+                if victim.meta.used {
+                    self.report.l2_ctr_useful += 1;
+                } else {
+                    self.report.l2_ctr_useless += 1;
+                }
+            }
+            _ => {
+                let slice = self.slice_of(victim.addr);
+                let t = self.now + self.noc_l2_slice(core, slice, true);
+                self.queue.push(
+                    t,
+                    Ev::SliceVictim {
+                        line: victim.addr,
+                        dirty: victim.dirty,
+                        kind: victim.meta.kind,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Invalidate-path eviction of an L2 counter line (MC update or budget
+    /// replacement).
+    pub(crate) fn evict_l2_ctr_line(&mut self, core: usize, block: LineAddr, by_mc: bool) {
+        if let Some(ev) = self.l2[core].cache.invalidate(block) {
+            self.l2[core].ctr_lines = self.l2[core].ctr_lines.saturating_sub(1);
+            if by_mc {
+                self.report.l2_ctr_invalidations += 1;
+            }
+            if ev.meta.used {
+                self.report.l2_ctr_useful += 1;
+            } else {
+                self.report.l2_ctr_useless += 1;
+            }
+        }
+    }
+
+    /// §IV-F: periodically compare DRAM-served fills against L2 accesses
+    /// and switch EMCC off for a non-memory-intensive window.
+    fn sample_intensity(&mut self, core: usize) {
+        if !self.cfg.scheme.is_emcc() || !self.cfg.emcc.dynamic_disable {
+            return;
+        }
+        let window = self.cfg.emcc.intensity_window;
+        let threshold = u64::from(self.cfg.emcc.intensity_threshold_per_mille);
+        let l2 = &mut self.l2[core];
+        l2.window_accesses += 1;
+        if l2.window_accesses >= window {
+            let per_mille = l2.window_dram_fills * 1000 / l2.window_accesses;
+            l2.emcc_disabled = per_mille < threshold;
+            if l2.emcc_disabled {
+                self.report.emcc_disabled_windows += 1;
+            }
+            l2.window_accesses = 0;
+            l2.window_dram_fills = 0;
+        }
+    }
+
+    // ----- Prefetcher -------------------------------------------------------
+
+    fn train_prefetcher(&mut self, core: usize, line: LineAddr) {
+        if self.cfg.l2_prefetch_degree == 0 {
+            return;
+        }
+        // Index by 4 KB region so interleaved streams train separately
+        // (high multiply bits: low bits of a multiplicative hash collide).
+        let slot = ((line.get() >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize;
+        let (last, last_stride, conf) = self.l2[core].stride[slot];
+        let stride = line.get() as i64 - last as i64;
+        if stride != 0 && stride == last_stride && stride.unsigned_abs() <= 8 {
+            let conf = conf + 1;
+            self.l2[core].stride[slot] = (line.get(), stride, conf);
+            if conf >= 2 {
+                for d in 1..=self.cfg.l2_prefetch_degree {
+                    let target = line.get() as i64 + stride * i64::from(d);
+                    if target < 0 {
+                        continue;
+                    }
+                    let target = LineAddr::new(target as u64);
+                    if self.l2[core].cache.contains(target)
+                        || self.l2[core].mshr.is_outstanding(target)
+                    {
+                        continue;
+                    }
+                    if self.l2[core]
+                        .mshr
+                        .allocate(
+                            target,
+                            Waiter {
+                                token: None,
+                                is_write: false,
+                            },
+                        )
+                        == MshrOutcome::Allocated
+                    {
+                        self.report.prefetches += 1;
+                        self.start_data_txn(core, target, true, self.now);
+                    }
+                }
+            }
+        } else {
+            self.l2[core].stride[slot] = (line.get(), stride, 0);
+        }
+    }
+}

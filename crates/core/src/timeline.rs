@@ -1,0 +1,309 @@
+//! Analytic secure-memory-access timelines (Figures 5, 8, 10, 13, 14).
+//!
+//! The paper explains EMCC's benefit with latency-composition timelines.
+//! This module reconstructs them from the same constants the simulator
+//! uses, so the claimed savings (e.g. "EMCC responds 16 ns earlier under
+//! counter miss in LLC", "22 ns earlier with XPT under row-buffer miss")
+//! can be regenerated and checked as numbers.
+
+use emcc_crypto::CryptoLatencies;
+use emcc_sim::Time;
+
+/// Latency constants of the timeline model (paper §III values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineParams {
+    /// Direct LLC latency: MC or L2 fetching from an LLC slice (19 ns).
+    pub direct_llc: Time,
+    /// LLC hit latency as seen by L2 (23 ns).
+    pub llc_hit: Time,
+    /// DRAM access under row-buffer hit (16 ns).
+    pub dram_row_hit: Time,
+    /// DRAM access under row-buffer miss (30 ns).
+    pub dram_row_miss: Time,
+    /// MC's private counter-cache lookup (3 ns).
+    pub mc_ctr_cache: Time,
+    /// One-way NoC latency between two nodes (7.5 ns average).
+    pub noc_one_way: Time,
+    /// L2 lookup before the miss reaches the NoC (4 ns).
+    pub l2_lookup: Time,
+    /// Crypto latencies (AES 14 ns, decode 3 ns).
+    pub crypto: CryptoLatencies,
+    /// The serial counter-lookup delay in L2 ('J' in Fig 10a).
+    pub l2_ctr_lookup: Time,
+}
+
+impl Default for TimelineParams {
+    fn default() -> Self {
+        TimelineParams {
+            direct_llc: Time::from_ns(19),
+            llc_hit: Time::from_ns(23),
+            dram_row_hit: Time::from_ns(16),
+            dram_row_miss: Time::from_ns(30),
+            mc_ctr_cache: Time::from_ns(3),
+            noc_one_way: Time::from_ps(7_500),
+            l2_lookup: Time::from_ns(4),
+            crypto: CryptoLatencies::paper_default(),
+            l2_ctr_lookup: Time::from_ns(2),
+        }
+    }
+}
+
+/// Which of the paper's timeline scenarios to compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineScenario {
+    /// Fig 5: counter misses on-chip; baseline = no counters in LLC.
+    CtrMissNoLlcCaching,
+    /// Fig 5 (lower): counter misses on-chip; counters cached in LLC.
+    CtrMissLlcCaching,
+    /// Fig 8 (upper): counter hits in the MC's private cache.
+    CtrHitInMc,
+    /// Fig 8 (lower): counter hits in LLC (serial MC access).
+    CtrHitInLlcBaseline,
+    /// Fig 10a: EMCC, counter miss in LLC, row-buffer miss.
+    EmccCtrMissLlc,
+    /// Fig 13a: EMCC, counter hit in LLC.
+    EmccCtrHitLlc,
+    /// Fig 13b: baseline, counter hit in LLC.
+    BaselineCtrHitLlc,
+    /// Fig 14a: EMCC with XPT, row-buffer miss, counter hit in LLC.
+    EmccXptRowMiss,
+    /// Fig 14b: baseline with XPT, row-buffer miss, counter hit in LLC.
+    BaselineXptRowMiss,
+}
+
+/// A composed timeline: named segments and the total secure-memory access
+/// latency (request at MC → decrypted data back, per the paper's
+/// definition — or data at L1 for the L2-relative figures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// `(label, start, end)` segments for display.
+    pub segments: Vec<(&'static str, Time, Time)>,
+    /// Completion time of the access.
+    pub total: Time,
+}
+
+impl Timeline {
+    /// Composes a scenario's timeline from parameters.
+    pub fn compose(scenario: TimelineScenario, p: &TimelineParams) -> Timeline {
+        let mut segments = Vec::new();
+        let crypt = p.crypto.aes; // counter-dependent computation
+        let total = match scenario {
+            TimelineScenario::CtrMissNoLlcCaching => {
+                // MC: data DRAM read || counter DRAM read, then crypt.
+                segments.push(("data: DRAM (row miss)", Time::ZERO, p.dram_row_miss));
+                let ctr_done = p.mc_ctr_cache + p.dram_row_miss;
+                segments.push(("ctr: MC$ lookup + DRAM", Time::ZERO, ctr_done));
+                let crypt_end = ctr_done + crypt;
+                segments.push(("crypt", ctr_done, crypt_end));
+                crypt_end.max(p.dram_row_miss) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::CtrMissLlcCaching => {
+                segments.push(("data: DRAM (row miss)", Time::ZERO, p.dram_row_miss));
+                // Counter: MC$ lookup → LLC (miss) → DRAM → crypt, serial.
+                let llc_done = p.mc_ctr_cache + p.direct_llc;
+                segments.push(("ctr: MC$ + LLC (miss)", Time::ZERO, llc_done));
+                let dram_done = llc_done + p.dram_row_miss;
+                segments.push(("ctr: DRAM", llc_done, dram_done));
+                let crypt_end = dram_done + crypt;
+                segments.push(("crypt", dram_done, crypt_end));
+                crypt_end.max(p.dram_row_miss) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::CtrHitInMc => {
+                segments.push(("data: DRAM (row miss)", Time::ZERO, p.dram_row_miss));
+                let crypt_end = p.mc_ctr_cache + crypt;
+                segments.push(("ctr: MC$ hit + crypt", Time::ZERO, crypt_end));
+                crypt_end.max(p.dram_row_miss) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::CtrHitInLlcBaseline => {
+                segments.push(("data: DRAM (row miss)", Time::ZERO, p.dram_row_miss));
+                let ctr_done = p.mc_ctr_cache + p.direct_llc;
+                segments.push(("ctr: MC$ + LLC hit", Time::ZERO, ctr_done));
+                let crypt_end = ctr_done + crypt;
+                segments.push(("crypt", ctr_done, crypt_end));
+                crypt_end.max(p.dram_row_miss) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::EmccCtrMissLlc => {
+                // L2-relative: data req → LLC miss → MC → DRAM → back to L2.
+                let data_at_mc = p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let data_done = data_at_mc + p.dram_row_miss + p.noc_one_way + p.noc_one_way;
+                segments.push(("data: L2→LLC→MC→DRAM→L2", Time::ZERO, data_done));
+                // Counter, parallel (delayed by J): L2→LLC miss →MC→DRAM,
+                // verified at MC, used at MC for this access.
+                let ctr_at_mc =
+                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let ctr_done = ctr_at_mc + p.dram_row_miss + crypt;
+                segments.push(("ctr: L2→LLC(miss)→MC→DRAM + crypt", p.l2_ctr_lookup, ctr_done));
+                data_done.max(ctr_done) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::EmccCtrHitLlc => {
+                let data_at_mc = p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let data_done = data_at_mc + p.dram_row_hit + p.noc_one_way + p.noc_one_way;
+                segments.push(("data: L2→LLC→MC→DRAM→L2", Time::ZERO, data_done));
+                let ctr_at_l2 =
+                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let aes_done = ctr_at_l2 + p.crypto.counter_decode + crypt;
+                segments.push(("ctr: L2→LLC(hit)→L2 + AES@L2", p.l2_ctr_lookup, aes_done));
+                data_done.max(aes_done) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::BaselineCtrHitLlc => {
+                let data_at_mc = p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let data_done = data_at_mc + p.dram_row_hit + p.noc_one_way + p.noc_one_way;
+                segments.push(("data: L2→LLC→MC→DRAM→L2", Time::ZERO, data_done));
+                // MC fetches the counter only after the data LLC miss.
+                let ctr_start = data_at_mc + p.mc_ctr_cache;
+                let ctr_done = ctr_start + p.direct_llc + p.crypto.counter_decode + crypt;
+                segments.push(("ctr: MC→LLC(hit)→MC + AES@MC", data_at_mc, ctr_done));
+                // Data must still travel MC→L2 after crypt completes.
+                let ship = ctr_done.max(data_at_mc + p.dram_row_hit);
+                ship + p.noc_one_way + p.noc_one_way + p.crypto.xor_and_compare
+            }
+            TimelineScenario::EmccXptRowMiss => {
+                // XPT starts the DRAM read after one direct L2→MC hop; the
+                // L2's counter request proceeds in parallel and AES runs
+                // at the L2, overlapped with the whole data return path.
+                let data_at_mc = p.l2_lookup + p.noc_one_way;
+                let data_done = data_at_mc + p.dram_row_miss + p.noc_one_way + p.noc_one_way;
+                segments.push(("data: L2→MC(XPT)→DRAM→L2", Time::ZERO, data_done));
+                let ctr_at_l2 =
+                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let aes_done = ctr_at_l2 + p.crypto.counter_decode + crypt;
+                segments.push(("ctr: L2→LLC(hit)→L2 + AES@L2", p.l2_ctr_lookup, aes_done));
+                data_done.max(aes_done) + p.crypto.xor_and_compare
+            }
+            TimelineScenario::BaselineXptRowMiss => {
+                // XPT accelerates only the DRAM read; the MC's secure
+                // pipeline (counter fetch from LLC + AES) starts when the
+                // *confirmed* miss arrives through L2→LLC→MC.
+                let data_at_mc = p.l2_lookup + p.noc_one_way;
+                let data_done_at_mc = data_at_mc + p.dram_row_miss;
+                segments.push(("data: L2→MC(XPT)→DRAM", Time::ZERO, data_done_at_mc));
+                let confirm_at_mc =
+                    p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let ctr_start = confirm_at_mc + p.mc_ctr_cache;
+                let ctr_done = ctr_start + p.direct_llc + p.crypto.counter_decode + crypt;
+                segments.push(("ctr: MC→LLC(hit)→MC + AES@MC", confirm_at_mc, ctr_done));
+                let ship = ctr_done.max(data_done_at_mc);
+                ship + p.noc_one_way + p.noc_one_way + p.crypto.xor_and_compare
+            }
+        };
+        Timeline { segments, total }
+    }
+
+    /// Renders the timeline as indented text rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, start, end) in &self.segments {
+            out.push_str(&format!(
+                "  [{:>6.1} → {:>6.1} ns] {label}\n",
+                start.as_ns_f64(),
+                end.as_ns_f64()
+            ));
+        }
+        out.push_str(&format!("  total: {:.1} ns\n", self.total.as_ns_f64()));
+        out
+    }
+}
+
+impl TimelineParams {
+    /// LLC slice lookup time (tag + data SRAM).
+    fn llc_lookup(&self) -> Time {
+        Time::from_ns(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> TimelineParams {
+        TimelineParams::default()
+    }
+
+    #[test]
+    fn fig5_llc_caching_adds_direct_llc_latency() {
+        // §III-B: "caching counters in LLC increases Secure Memory Access
+        // Latency by 19ns Direct LLC Latency" under counter miss.
+        let without = Timeline::compose(TimelineScenario::CtrMissNoLlcCaching, &p()).total;
+        let with = Timeline::compose(TimelineScenario::CtrMissLlcCaching, &p()).total;
+        assert_eq!(with - without, Time::from_ns(19));
+    }
+
+    #[test]
+    fn fig8_llc_hit_still_slower_than_mc_hit() {
+        // Fig 8: even an LLC counter *hit* lengthens the access relative
+        // to an MC counter-cache hit (the "Overhead (8ns)" arrow).
+        let mc_hit = Timeline::compose(TimelineScenario::CtrHitInMc, &p()).total;
+        let llc_hit = Timeline::compose(TimelineScenario::CtrHitInLlcBaseline, &p()).total;
+        let overhead = llc_hit - mc_hit;
+        assert!(
+            overhead >= Time::from_ns(5) && overhead <= Time::from_ns(10),
+            "overhead {overhead} out of Fig 8's ~8 ns ballpark"
+        );
+    }
+
+    #[test]
+    fn fig8_mc_hit_hides_crypt_entirely() {
+        // With a counter hit in MC, AES (3+14 = 17ns) < DRAM row miss
+        // (30ns): counter work is off the critical path.
+        let t = Timeline::compose(TimelineScenario::CtrHitInMc, &p());
+        assert_eq!(
+            t.total,
+            Time::from_ns(30) + Time::from_ns(1),
+            "crypt must hide behind DRAM"
+        );
+    }
+
+    #[test]
+    fn fig13_emcc_beats_baseline_on_llc_ctr_hit() {
+        let emcc = Timeline::compose(TimelineScenario::EmccCtrHitLlc, &p()).total;
+        let base = Timeline::compose(TimelineScenario::BaselineCtrHitLlc, &p()).total;
+        assert!(emcc < base, "EMCC {emcc} must beat baseline {base}");
+    }
+
+    #[test]
+    fn fig14_xpt_row_miss_saving_near_22ns() {
+        // Fig 14: "EMCC can respond decrypted and verified data back to L1
+        // 22ns earlier than the baseline" under XPT + row miss.
+        let emcc = Timeline::compose(TimelineScenario::EmccXptRowMiss, &p()).total;
+        let base = Timeline::compose(TimelineScenario::BaselineXptRowMiss, &p()).total;
+        let saving = base - emcc;
+        assert!(
+            saving >= Time::from_ns(15) && saving <= Time::from_ns(28),
+            "saving {saving} not in Fig 14's ~22 ns ballpark"
+        );
+    }
+
+    #[test]
+    fn fig10_emcc_beats_baseline_on_llc_ctr_miss() {
+        // Fig 10: EMCC parallelizes the counter's LLC miss with the data
+        // access; the baseline serializes it after the data's LLC miss.
+        let emcc = Timeline::compose(TimelineScenario::EmccCtrMissLlc, &p()).total;
+        let base_serial = {
+            // Baseline (Fig 10b): data path then serial ctr LLC miss+DRAM.
+            let pp = p();
+            let data_at_mc = pp.l2_lookup + pp.noc_one_way + Time::from_ns(4) + pp.noc_one_way;
+            let ctr_done = data_at_mc
+                + pp.mc_ctr_cache
+                + pp.direct_llc
+                + pp.dram_row_miss
+                + pp.crypto.aes;
+            let data_done = data_at_mc + pp.dram_row_miss;
+            ctr_done.max(data_done)
+                + pp.noc_one_way
+                + pp.noc_one_way
+                + pp.crypto.xor_and_compare
+        };
+        assert!(
+            emcc < base_serial,
+            "EMCC {emcc} must beat serial baseline {base_serial}"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_segments() {
+        let t = Timeline::compose(TimelineScenario::EmccCtrHitLlc, &p());
+        let s = t.render();
+        assert!(s.contains("AES@L2"));
+        assert!(s.contains("total:"));
+    }
+}

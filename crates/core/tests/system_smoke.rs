@@ -1,0 +1,134 @@
+//! End-to-end smoke and behavior tests for the full-system simulator.
+
+use emcc_secmem::SecurityScheme;
+use emcc_system::{SecureSystem, SystemConfig};
+use emcc_workloads::kernels::GraphKernel;
+use emcc_workloads::presets::WorkloadScale;
+use emcc_workloads::Benchmark;
+
+fn run(scheme: SecurityScheme, bench: Benchmark, ops: u64) -> emcc_system::SimReport {
+    let cfg = SystemConfig::table_i(scheme);
+    let sources = bench.build_scaled(7, cfg.cores, WorkloadScale::Test);
+    SecureSystem::new(cfg).run(sources, ops)
+}
+
+#[test]
+fn nonsecure_run_terminates_with_work_done() {
+    let r = run(SecurityScheme::NonSecure, Benchmark::Canneal, 3_000);
+    assert_eq!(r.mem_ops, 4 * 3_000);
+    assert!(r.instructions > r.mem_ops);
+    assert!(!r.elapsed.is_zero());
+    assert!(r.ipc() > 0.0);
+    assert!(r.dram_data_reads > 0, "canneal must reach DRAM");
+}
+
+#[test]
+fn all_schemes_terminate_on_graph_workload() {
+    let bench = Benchmark::Graph(GraphKernel::Bfs);
+    for scheme in SecurityScheme::all() {
+        let r = run(scheme, bench, 2_000);
+        assert_eq!(r.mem_ops, 4 * 2_000, "{scheme} did not finish");
+        assert!(!r.elapsed.is_zero());
+    }
+}
+
+#[test]
+fn secure_schemes_are_slower_than_nonsecure() {
+    let bench = Benchmark::Canneal;
+    let ns = run(SecurityScheme::NonSecure, bench, 4_000);
+    let base = run(SecurityScheme::CtrInLlc, bench, 4_000);
+    assert!(
+        base.elapsed > ns.elapsed,
+        "secure ({}) must be slower than non-secure ({})",
+        base.elapsed,
+        ns.elapsed
+    );
+}
+
+#[test]
+fn secure_runs_generate_counter_traffic() {
+    let r = run(SecurityScheme::CtrInLlc, Benchmark::Canneal, 4_000);
+    let ctr = r.dram.count_for(emcc_dram::RequestClass::Counter);
+    assert!(ctr > 0, "counter DRAM traffic expected");
+    let total: u64 = r.ctr_source.iter().sum();
+    assert!(total > 0, "counter sourcing must be recorded");
+}
+
+#[test]
+fn nonsecure_has_no_counter_traffic() {
+    let r = run(SecurityScheme::NonSecure, Benchmark::Canneal, 4_000);
+    assert_eq!(r.dram.count_for(emcc_dram::RequestClass::Counter), 0);
+    assert_eq!(r.dram.count_for(emcc_dram::RequestClass::TreeNode), 0);
+}
+
+#[test]
+fn emcc_decrypts_mostly_at_l2() {
+    let r = run(SecurityScheme::Emcc, Benchmark::Canneal, 4_000);
+    assert!(
+        r.decrypted_at_l2 > 0,
+        "EMCC must decrypt something at L2 (got {} at MC)",
+        r.decrypted_at_mc
+    );
+    assert!(r.l2_ctr_insertions > 0, "counters must be cached in L2");
+}
+
+#[test]
+fn emcc_outperforms_baseline_on_irregular_workload() {
+    let bench = Benchmark::Canneal;
+    let base = run(SecurityScheme::CtrInLlc, bench, 6_000);
+    let emcc = run(SecurityScheme::Emcc, bench, 6_000);
+    // The headline result, directionally: EMCC should not be slower.
+    assert!(
+        emcc.elapsed <= base.elapsed + base.elapsed / 20,
+        "EMCC ({}) much slower than baseline ({})",
+        emcc.elapsed,
+        base.elapsed
+    );
+}
+
+#[test]
+fn mconly_fetches_counters_without_llc_requests() {
+    let r = run(SecurityScheme::McOnly, Benchmark::Canneal, 3_000);
+    assert_eq!(r.mc_ctr_reqs_to_llc, 0);
+    assert_eq!(r.l2_ctr_reqs_to_llc, 0);
+    assert!(r.dram.count_for(emcc_dram::RequestClass::Counter) > 0);
+}
+
+#[test]
+fn baseline_counter_requests_go_through_llc() {
+    let r = run(SecurityScheme::CtrInLlc, Benchmark::Canneal, 3_000);
+    assert!(r.mc_ctr_reqs_to_llc > 0);
+    assert_eq!(r.l2_ctr_reqs_to_llc, 0, "only EMCC issues L2 ctr reqs");
+}
+
+#[test]
+fn emcc_l2_counter_budget_respected() {
+    let r = run(SecurityScheme::Emcc, Benchmark::Canneal, 6_000);
+    // Inserted many, but the budget bounds residency — checked indirectly:
+    // inserted counters are eventually evicted/invalidated, so useless +
+    // useful + invalidations accounts for insertions minus residents.
+    assert!(r.l2_ctr_insertions >= r.l2_ctr_useless + r.l2_ctr_useful);
+}
+
+#[test]
+fn writes_eventually_reach_dram() {
+    // Shrink the hierarchy so the Test-scale footprint evicts dirty lines
+    // all the way to DRAM within a short run.
+    let mut cfg = SystemConfig::table_i(SecurityScheme::CtrInLlc);
+    cfg.l2_size = 128 * 1024;
+    cfg.llc_slice_size = 32 * 1024;
+    let sources = Benchmark::Mcf.build_scaled(7, cfg.cores, WorkloadScale::Test);
+    let r = SecureSystem::new(cfg).run(sources, 6_000);
+    assert!(r.writebacks > 0, "mcf writes must cause writebacks");
+    let wr = r.dram.bucket(emcc_dram::RequestClass::Data, true).count;
+    assert!(wr > 0, "DRAM data writes expected");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(SecurityScheme::Emcc, Benchmark::Omnetpp, 2_000);
+    let b = run(SecurityScheme::Emcc, Benchmark::Omnetpp, 2_000);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.dram_data_reads, b.dram_data_reads);
+    assert_eq!(a.l2_ctr_insertions, b.l2_ctr_insertions);
+}

@@ -1,0 +1,48 @@
+//! Write-counter organizations and the integrity tree.
+//!
+//! Secure memory keeps a **write counter** per 64 B block (§II of the
+//! paper). Counters are stored in DRAM in 64 B *counter blocks*, and the
+//! counter blocks are themselves protected by counters organized in an
+//! **integrity tree**. This crate implements the three counter designs the
+//! paper evaluates:
+//!
+//! * **Monolithic** — eight 56-bit counters per block (the classic MEE
+//!   layout \[Gueron 2016\]); 512 B coverage.
+//! * **SC-64** — a split design with one major counter and 64 seven-bit
+//!   minor counters; 4 KB coverage \[Yan et al., ISCA'06\].
+//! * **Morphable Counters** — 128 minor counters per block whose storage
+//!   format *morphs* between a uniform 3-bit layout and zero-counter-
+//!   compressed layouts holding 51×5 b / 42×6 b / 36×7 b non-zero minors
+//!   (matching the paper's "variable and non-power-of-2 (e.g., 36, 42, 51)
+//!   number of non-zero minor counters"); 8 KB coverage \[Saileshwar et
+//!   al., MICRO'18\].
+//!
+//! Split designs **overflow**: when a minor counter can no longer be
+//! represented, the block is *rebased* (major counter incremented, minors
+//! reset) and every protected block must be re-encrypted — the "level 0
+//! overflow" and "level 1 and higher overflow" DRAM traffic in the paper's
+//! Figure 15.
+//!
+//! # Examples
+//!
+//! ```
+//! use emcc_counters::{CounterDesign, IntegrityTree};
+//! use emcc_sim::LineAddr;
+//!
+//! let mut tree = IntegrityTree::new(CounterDesign::Morphable, 1 << 20);
+//! let line = LineAddr::new(42);
+//! assert_eq!(tree.data_counter(line), 0);
+//! let r = tree.increment_data(line);
+//! assert_eq!(r.new_counter, 1);
+//! assert_eq!(tree.data_counter(line), 1);
+//! ```
+
+pub mod block;
+pub mod design;
+pub mod format;
+pub mod tree;
+
+pub use block::{CounterBlock, IncrementResult, OverflowInfo};
+pub use design::CounterDesign;
+pub use format::MorphFormat;
+pub use tree::{IntegrityTree, MetaKind, TreeGeometry};

@@ -1,0 +1,30 @@
+//! Network-on-chip model: mesh topology, non-uniform latency, slice map.
+//!
+//! Modern server CPUs split the LLC into per-core slices connected by a
+//! mesh NoC (the paper's Figure 4 shows the Xeon W-3175X: a 6×5 grid of 28
+//! core tiles and two memory controllers). A request from an L2 travels a
+//! variable number of hops to the slice that owns the address, which is why
+//! LLC hit latency is *non-uniform* (Figure 3: 16–29 ns, mean 23 ns) — the
+//! effect that makes counter accesses in LLC expensive and motivates EMCC.
+//!
+//! # Examples
+//!
+//! ```
+//! use emcc_noc::{Mesh, NocLatency};
+//!
+//! let mesh = Mesh::xeon_w3175x();
+//! assert_eq!(mesh.num_cores(), 28);
+//! let lat = NocLatency::calibrated();
+//! // Requests to a far slice cost more than to an adjacent one.
+//! let near = mesh.hops_core_to_core(0, 1);
+//! let far = mesh.hops_core_to_core(0, 27);
+//! assert!(lat.one_way(far, false) > lat.one_way(near, false));
+//! ```
+
+pub mod latency;
+pub mod mesh;
+pub mod slice_map;
+
+pub use latency::NocLatency;
+pub use mesh::{Mesh, Node};
+pub use slice_map::SliceMap;

@@ -1,0 +1,165 @@
+//! The memory controller's private metadata cache.
+//!
+//! Table I: 128 KB, 32-way, 3 ns. It holds both level-0 counter blocks and
+//! integrity-tree nodes ("MC also caches the counter block's counter like
+//! data's counter", §II), tagged by [`BlockKind`].
+
+use emcc_cache::{BlockKind, CacheConfig, EvictedLine, SetAssocCache};
+use emcc_sim::LineAddr;
+
+/// Per-line metadata kept by the MC's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaLine {
+    /// Counter block vs tree node.
+    pub kind: BlockKind,
+}
+
+/// The MC's private counter/tree-node cache with hit/miss accounting.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_secmem::MetadataCache;
+/// use emcc_cache::BlockKind;
+/// use emcc_sim::LineAddr;
+///
+/// let mut c = MetadataCache::new(128 * 1024, 32);
+/// assert!(!c.lookup(LineAddr::new(9)));
+/// c.fill(LineAddr::new(9), BlockKind::Counter, false);
+/// assert!(c.lookup(LineAddr::new(9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    cache: SetAssocCache<MetaLine>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataCache {
+    /// Creates the cache with the given size and associativity.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        MetadataCache {
+            cache: SetAssocCache::new(CacheConfig::new(size_bytes, ways)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a metadata block, updating LRU and hit/miss statistics.
+    pub fn lookup(&mut self, addr: LineAddr) -> bool {
+        if self.cache.touch(addr) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Presence check without statistics or LRU update.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.cache.contains(addr)
+    }
+
+    /// Presence check that refreshes LRU but records no hit/miss
+    /// statistics — used for integrity-tree walks, where touching an
+    /// ancestor node is a real access that must keep it resident.
+    pub fn touch_quiet(&mut self, addr: LineAddr) -> bool {
+        self.cache.touch(addr)
+    }
+
+    /// Inserts a verified metadata block; returns a dirty victim that must
+    /// be written back to DRAM, if any.
+    pub fn fill(
+        &mut self,
+        addr: LineAddr,
+        kind: BlockKind,
+        dirty: bool,
+    ) -> Option<EvictedLine<MetaLine>> {
+        self.cache
+            .insert(addr, dirty, MetaLine { kind })
+            .filter(|ev| ev.dirty)
+    }
+
+    /// Marks a resident block dirty (its counters were updated). Returns
+    /// false if the block is not resident.
+    pub fn mark_dirty(&mut self, addr: LineAddr) -> bool {
+        self.cache.mark_dirty(addr)
+    }
+
+    /// Clears hit/miss statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over lookups so far (0.0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        emcc_sim::stats::ratio(self.hits, self.hits + self.misses)
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> u64 {
+        self.cache.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shape() {
+        let c = MetadataCache::new(128 * 1024, 32);
+        assert!(c.is_empty());
+        // 128 KB / 64 B = 2048 lines.
+        assert_eq!(c.cache.config().capacity_lines(), 2048);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = MetadataCache::new(4096, 4);
+        assert!(!c.lookup(LineAddr::new(1)));
+        c.fill(LineAddr::new(1), BlockKind::Counter, false);
+        assert!(c.lookup(LineAddr::new(1)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn dirty_victims_surface() {
+        // 1 set x 2 ways.
+        let mut c = MetadataCache::new(128, 2);
+        c.fill(LineAddr::new(0), BlockKind::Counter, false);
+        assert!(c.mark_dirty(LineAddr::new(0)));
+        c.fill(LineAddr::new(1), BlockKind::TreeNode, false);
+        let ev = c.fill(LineAddr::new(2), BlockKind::Counter, false);
+        let ev = ev.expect("dirty victim must be returned");
+        assert_eq!(ev.addr, LineAddr::new(0));
+        assert_eq!(ev.meta.kind, BlockKind::Counter);
+    }
+
+    #[test]
+    fn clean_victims_silent() {
+        let mut c = MetadataCache::new(128, 2);
+        c.fill(LineAddr::new(0), BlockKind::Counter, false);
+        c.fill(LineAddr::new(1), BlockKind::Counter, false);
+        assert!(c.fill(LineAddr::new(2), BlockKind::Counter, false).is_none());
+    }
+}

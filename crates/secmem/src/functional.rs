@@ -1,0 +1,380 @@
+//! Functional (non-timing) secure memory.
+//!
+//! A complete architectural model of the secure-memory data path: every
+//! write encrypts with the line's fresh counter and stores a real 56-bit
+//! MAC; every read recomputes and checks the MAC before decrypting. The
+//! integrity tree supplies the counters, including split-counter rebases
+//! (which transparently re-encrypt the covered region, exactly the work
+//! the timing model charges as overflow traffic).
+//!
+//! This model exists to *prove the protocol*: the timing simulator reuses
+//! the same counter state machine but does not move data bytes around.
+
+use std::collections::HashMap;
+
+use emcc_counters::{CounterDesign, IntegrityTree};
+use emcc_crypto::{BlockCipherKeys, DataBlock, Mac56};
+use emcc_sim::LineAddr;
+
+/// Why a read failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The stored MAC does not match the recomputed MAC: tampering or
+    /// replay detected. Hardware would raise the ECC-style interrupt the
+    /// paper describes (§IV-D).
+    MacMismatch {
+        /// The offending line.
+        line: LineAddr,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::MacMismatch { line } => {
+                write!(f, "integrity violation detected at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A stored ciphertext line with its MAC (co-located, as in §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredLine {
+    /// The encrypted block as it would sit in DRAM.
+    pub cipher: DataBlock,
+    /// The 56-bit MAC co-located with the data.
+    pub mac: Mac56,
+}
+
+/// Functional secure memory over a sparse line store.
+///
+/// Unwritten lines read as all-zero plaintext (fresh memory), matching how
+/// real systems initialize counters to zero at boot.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_secmem::FunctionalSecureMemory;
+/// use emcc_crypto::DataBlock;
+/// use emcc_sim::LineAddr;
+///
+/// let mut mem = FunctionalSecureMemory::new(7, 1 << 16);
+/// let line = LineAddr::new(3);
+/// let block = DataBlock::from_words([42; 8]);
+/// mem.write(line, block);
+/// assert_eq!(mem.read(line).unwrap(), block);
+///
+/// // Physical tampering is detected.
+/// mem.tamper_flip_bit(line, 17);
+/// assert!(mem.read(line).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalSecureMemory {
+    keys: BlockCipherKeys,
+    tree: IntegrityTree,
+    store: HashMap<LineAddr, StoredLine>,
+    reencrypted_lines: u64,
+}
+
+impl FunctionalSecureMemory {
+    /// Creates a memory with Morphable counters over `data_lines` lines.
+    pub fn new(seed: u64, data_lines: u64) -> Self {
+        Self::with_design(seed, data_lines, CounterDesign::Morphable)
+    }
+
+    /// Creates a memory with an explicit counter design.
+    pub fn with_design(seed: u64, data_lines: u64, design: CounterDesign) -> Self {
+        FunctionalSecureMemory {
+            keys: BlockCipherKeys::from_seed(seed),
+            tree: IntegrityTree::new(design, data_lines),
+            store: HashMap::new(),
+            reencrypted_lines: 0,
+        }
+    }
+
+    /// The integrity tree (counter state), for inspection.
+    pub fn tree(&self) -> &IntegrityTree {
+        &self.tree
+    }
+
+    /// Lines re-encrypted by rebases so far — the functional analogue of
+    /// overflow DRAM traffic.
+    pub fn reencrypted_lines(&self) -> u64 {
+        self.reencrypted_lines
+    }
+
+    /// Writes a plaintext block: bumps the counter, encrypts, MACs.
+    ///
+    /// Split-counter rebases transparently re-encrypt every stored line the
+    /// counter block covers.
+    pub fn write(&mut self, line: LineAddr, plain: DataBlock) {
+        // If this increment will rebase, decrypt the covered region with
+        // the *old* counters first.
+        let saved: Vec<(LineAddr, DataBlock)> = if self.tree.would_overflow_data(line) {
+            self.covered_lines(line)
+                .filter(|l| *l != line && self.store.contains_key(l))
+                .map(|l| {
+                    let plain = self
+                        .read(l)
+                        .expect("pre-rebase re-read of intact line succeeds");
+                    (l, plain)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let r = self.tree.increment_data(line);
+        if r.overflow.is_some() {
+            for (l, plain) in saved {
+                let counter = self.tree.data_counter(l);
+                self.store_encrypted(l, plain, counter);
+                self.reencrypted_lines += 1;
+            }
+        }
+        self.store_encrypted(line, plain, r.new_counter);
+    }
+
+    /// Reads and verifies a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::MacMismatch`] when the stored MAC fails to
+    /// verify — tampering or replay.
+    pub fn read(&self, line: LineAddr) -> Result<DataBlock, ReadError> {
+        let Some(stored) = self.store.get(&line) else {
+            return Ok(DataBlock::default());
+        };
+        let counter = self.tree.data_counter(line);
+        let addr = line.base().get();
+        if !self
+            .keys
+            .verify_block(addr, counter, &stored.cipher, stored.mac)
+        {
+            return Err(ReadError::MacMismatch { line });
+        }
+        Ok(self.keys.decrypt_block(addr, counter, &stored.cipher))
+    }
+
+    /// Reads via the EMCC split path: the "MC" ships
+    /// `(ciphertext, MAC ⊕ dot-product)` and the "L2" verifies against its
+    /// locally computed AES half and decrypts with its locally computed
+    /// pad. Must behave identically to [`Self::read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::MacMismatch`] exactly when [`Self::read`] does.
+    pub fn read_split(&self, line: LineAddr) -> Result<DataBlock, ReadError> {
+        let Some(stored) = self.store.get(&line) else {
+            return Ok(DataBlock::default());
+        };
+        let counter = self.tree.data_counter(line);
+        let addr = line.base().get();
+        // MC side: data-dependent half only.
+        let shipped = stored.mac.as_u64() ^ self.keys.mac_dot_half(&stored.cipher).as_u64();
+        // L2 side: counter-dependent half, computed before data arrives.
+        let aes_half = self.keys.mac_aes_half(addr, counter).as_u64();
+        if shipped != aes_half {
+            return Err(ReadError::MacMismatch { line });
+        }
+        Ok(self.keys.decrypt_block(addr, counter, &stored.cipher))
+    }
+
+    /// Raw stored state (ciphertext + MAC) — what a bus probe would see.
+    pub fn raw(&self, line: LineAddr) -> Option<StoredLine> {
+        self.store.get(&line).copied()
+    }
+
+    /// Attack: flip one bit of the stored ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was never written or `bit >= 512`.
+    pub fn tamper_flip_bit(&mut self, line: LineAddr, bit: usize) {
+        let s = self.store.get_mut(&line).expect("line must exist to tamper");
+        s.cipher = s.cipher.with_bit_flipped(bit);
+    }
+
+    /// Attack: replace the stored line with a previously captured copy
+    /// (replay attack).
+    pub fn tamper_replay(&mut self, line: LineAddr, old: StoredLine) {
+        self.store.insert(line, old);
+    }
+
+    /// Attack: overwrite the stored MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was never written.
+    pub fn tamper_mac(&mut self, line: LineAddr, mac: Mac56) {
+        self.store.get_mut(&line).expect("line must exist").mac = mac;
+    }
+
+    fn covered_lines(&self, line: LineAddr) -> impl Iterator<Item = LineAddr> {
+        let coverage = self.tree.geometry().design().coverage();
+        let cb = self.tree.geometry().counter_block_of(line);
+        (cb * coverage..(cb + 1) * coverage).map(LineAddr::new)
+    }
+
+    fn store_encrypted(&mut self, line: LineAddr, plain: DataBlock, counter: u64) {
+        let addr = line.base().get();
+        let cipher = self.keys.encrypt_block(addr, counter, &plain);
+        let mac = self.keys.mac_block(addr, counter, &cipher);
+        self.store.insert(line, StoredLine { cipher, mac });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(v: u64) -> DataBlock {
+        DataBlock::from_words([v; 8])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        m.write(LineAddr::new(5), block(9));
+        assert_eq!(m.read(LineAddr::new(5)).unwrap(), block(9));
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let m = FunctionalSecureMemory::new(1, 1 << 16);
+        assert_eq!(m.read(LineAddr::new(99)).unwrap(), DataBlock::default());
+    }
+
+    #[test]
+    fn overwrite_uses_fresh_counter() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        let l = LineAddr::new(2);
+        m.write(l, block(1));
+        let c1 = m.raw(l).unwrap();
+        m.write(l, block(1)); // same plaintext again
+        let c2 = m.raw(l).unwrap();
+        // Counter-mode with a fresh counter: identical plaintext encrypts
+        // to a different ciphertext (no pad reuse — the §II vulnerability).
+        assert_ne!(c1.cipher, c2.cipher);
+        assert_eq!(m.read(l).unwrap(), block(1));
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        let l = LineAddr::new(3);
+        m.write(l, block(0xDEAD_BEEF));
+        let raw = m.raw(l).unwrap();
+        assert!(raw.cipher.words().iter().all(|&w| w != 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        let l = LineAddr::new(4);
+        m.write(l, block(7));
+        m.tamper_flip_bit(l, 100);
+        assert_eq!(m.read(l), Err(ReadError::MacMismatch { line: l }));
+    }
+
+    #[test]
+    fn mac_forgery_detected() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        let l = LineAddr::new(4);
+        m.write(l, block(7));
+        m.tamper_mac(l, Mac56::from_u64(0x1234));
+        assert!(m.read(l).is_err());
+    }
+
+    #[test]
+    fn replay_attack_detected() {
+        let mut m = FunctionalSecureMemory::new(1, 1 << 16);
+        let l = LineAddr::new(8);
+        m.write(l, block(1));
+        let old = m.raw(l).unwrap(); // attacker snapshots bus traffic
+        m.write(l, block(2)); // victim updates the value
+        m.tamper_replay(l, old); // attacker restores the old ciphertext+MAC
+        assert!(
+            m.read(l).is_err(),
+            "replayed old ciphertext must fail: counter has advanced"
+        );
+    }
+
+    #[test]
+    fn split_read_matches_monolithic_read() {
+        let mut m = FunctionalSecureMemory::new(3, 1 << 16);
+        for i in 0..50u64 {
+            m.write(LineAddr::new(i), block(i * 31 + 1));
+        }
+        for i in 0..50u64 {
+            let l = LineAddr::new(i);
+            assert_eq!(m.read(l).unwrap(), m.read_split(l).unwrap());
+        }
+    }
+
+    #[test]
+    fn split_read_detects_tamper() {
+        let mut m = FunctionalSecureMemory::new(3, 1 << 16);
+        let l = LineAddr::new(11);
+        m.write(l, block(5));
+        m.tamper_flip_bit(l, 0);
+        assert!(m.read_split(l).is_err());
+    }
+
+    #[test]
+    fn rebase_preserves_all_covered_values() {
+        // Force a rebase with SC-64 (overflows after 128 writes to one
+        // line) and check neighbors survive re-encryption.
+        let mut m =
+            FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
+        m.write(LineAddr::new(0), block(100));
+        m.write(LineAddr::new(1), block(101));
+        m.write(LineAddr::new(63), block(163));
+        for _ in 0..130 {
+            m.write(LineAddr::new(5), block(5));
+        }
+        assert!(m.tree().overflows_by_level()[0] >= 1, "rebase must occur");
+        assert!(m.reencrypted_lines() > 0);
+        assert_eq!(m.read(LineAddr::new(0)).unwrap(), block(100));
+        assert_eq!(m.read(LineAddr::new(1)).unwrap(), block(101));
+        assert_eq!(m.read(LineAddr::new(63)).unwrap(), block(163));
+        assert_eq!(m.read(LineAddr::new(5)).unwrap(), block(5));
+    }
+
+    #[test]
+    fn rebase_with_morphable_counters() {
+        let mut m = FunctionalSecureMemory::new(9, 1 << 16);
+        for i in 0..128u64 {
+            m.write(LineAddr::new(i), block(i));
+        }
+        // Uniform writes overflow Morphable around value 8 per line.
+        for _round in 0..10 {
+            for i in 0..128u64 {
+                m.write(LineAddr::new(i), block(i + 1000));
+            }
+        }
+        assert!(m.tree().overflows_by_level()[0] >= 1);
+        for i in 0..128u64 {
+            assert_eq!(m.read(LineAddr::new(i)).unwrap(), block(i + 1000));
+        }
+    }
+
+    #[test]
+    fn stress_random_writes_and_reads() {
+        let mut rng = emcc_sim::Rng64::new(77);
+        let mut m = FunctionalSecureMemory::new(77, 1 << 12);
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..5_000 {
+            let l = rng.below(512);
+            let v = rng.next_u64();
+            m.write(LineAddr::new(l), block(v));
+            shadow.insert(l, v);
+        }
+        for (l, v) in shadow {
+            assert_eq!(m.read(LineAddr::new(l)).unwrap(), block(v));
+        }
+    }
+}

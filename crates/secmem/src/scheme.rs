@@ -1,0 +1,86 @@
+//! The security design points the paper compares.
+
+use std::fmt;
+
+/// Which secure-memory organization a simulation runs.
+///
+/// The paper's evaluation (Fig 16) compares a non-secure system, SC-64 and
+/// Morphable baselines (both caching counters in LLC), and EMCC on top of
+/// Morphable. The characterization (§III, Fig 5) additionally contrasts
+/// *not* caching counters in LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityScheme {
+    /// No encryption or verification: the performance ceiling.
+    NonSecure,
+    /// Counters cached only in the MC's private cache; misses go straight
+    /// to DRAM (in parallel with data). The §III "W/o caching counters in
+    /// LLC" configuration.
+    McOnly,
+    /// Counters additionally cached in the LLC; the MC requests them from
+    /// LLC *serially after* a data LLC miss. The baseline of Figs 16–24.
+    CtrInLlc,
+    /// Eager Memory Cryptography in Caches: counters cached and used in
+    /// L2, with parallel counter/data requests to LLC (on top of
+    /// `CtrInLlc` behaviour at the MC).
+    Emcc,
+}
+
+impl SecurityScheme {
+    /// Whether any cryptography happens at all.
+    pub const fn is_secure(self) -> bool {
+        !matches!(self, SecurityScheme::NonSecure)
+    }
+
+    /// Whether counter blocks are inserted into the LLC.
+    pub const fn counters_in_llc(self) -> bool {
+        matches!(self, SecurityScheme::CtrInLlc | SecurityScheme::Emcc)
+    }
+
+    /// Whether L2 caches counters and decrypts/verifies locally.
+    pub const fn is_emcc(self) -> bool {
+        matches!(self, SecurityScheme::Emcc)
+    }
+
+    /// All schemes, in comparison order.
+    pub const fn all() -> [SecurityScheme; 4] {
+        [
+            SecurityScheme::NonSecure,
+            SecurityScheme::McOnly,
+            SecurityScheme::CtrInLlc,
+            SecurityScheme::Emcc,
+        ]
+    }
+}
+
+impl fmt::Display for SecurityScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SecurityScheme::NonSecure => "non-secure",
+            SecurityScheme::McOnly => "ctr-in-MC-only",
+            SecurityScheme::CtrInLlc => "ctr-in-LLC",
+            SecurityScheme::Emcc => "EMCC",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_consistent() {
+        assert!(!SecurityScheme::NonSecure.is_secure());
+        assert!(SecurityScheme::McOnly.is_secure());
+        assert!(!SecurityScheme::McOnly.counters_in_llc());
+        assert!(SecurityScheme::CtrInLlc.counters_in_llc());
+        assert!(SecurityScheme::Emcc.counters_in_llc());
+        assert!(SecurityScheme::Emcc.is_emcc());
+        assert!(!SecurityScheme::CtrInLlc.is_emcc());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SecurityScheme::Emcc.to_string(), "EMCC");
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A time-ordered priority queue of simulation events.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were pushed (stable FIFO tie-breaking), which makes simulations
+/// deterministic regardless of heap internals.
+///
+/// The payload type `E` carries the event itself; it needs no ordering of
+/// its own.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_sim::{EventQueue, Time};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { DramDone, NocArrive }
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(30), Ev::DramDone);
+/// q.push(Time::from_ns(8), Ev::NocArrive);
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (Time::from_ns(8), Ev::NocArrive));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time`.
+    pub fn push(&mut self, time: Time, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(5), 'b');
+        q.push(Time::from_ns(1), 'a');
+        q.push(Time::from_ns(9), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(3), ());
+        q.push(Time::from_ns(2), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+        assert_eq!(q.pop().unwrap().0, Time::from_ns(2));
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+    }
+
+    #[test]
+    fn len_and_totals() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(Time::ZERO, ());
+        q.push(Time::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 10);
+        q.push(Time::from_ns(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.push(Time::from_ns(5), 5);
+        q.push(Time::from_ns(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

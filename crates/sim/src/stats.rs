@@ -1,0 +1,366 @@
+//! Statistics primitives used by experiment reports.
+//!
+//! The simulator collects three kinds of statistics:
+//!
+//! * [`RunningMean`] — streaming mean over `f64` samples (e.g. latency),
+//! * [`Histogram`] — fixed-width-bin histogram (e.g. the Fig 3 LLC-hit
+//!   latency distribution),
+//! * plain `u64` counters, which live directly in report structs.
+//!
+//! Aggregation helpers for means across benchmarks ([`geomean`],
+//! [`arith_mean`]) are also provided because the paper reports both
+//! (Fig 22 uses geometric means; most others use arithmetic means).
+
+use crate::time::Time;
+
+/// Streaming arithmetic mean (with min/max) over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_sim::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.add(10.0);
+/// m.add(30.0);
+/// assert_eq!(m.mean(), 20.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMean {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a [`Time`] sample, recorded in nanoseconds.
+    pub fn add_time(&mut self, t: Time) {
+        self.add(t.as_ns_f64());
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram over `f64` samples.
+///
+/// Samples below the first bin clamp into it; samples at or beyond the last
+/// boundary land in the overflow bin.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_sim::Histogram;
+///
+/// // Bins [16,17), [17,18), ..., [28,29) as in the paper's Figure 3.
+/// let mut h = Histogram::new(16.0, 1.0, 13);
+/// h.add(23.4);
+/// assert_eq!(h.bin_count(7), 1); // 23.4 falls in [23,24)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    origin: f64,
+    width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    mean: RunningMean,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` bins of `width` starting at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive or `nbins` is zero.
+    pub fn new(origin: f64, width: f64, nbins: usize) -> Self {
+        assert!(width > 0.0, "bin width must be positive");
+        assert!(nbins > 0, "need at least one bin");
+        Histogram {
+            origin,
+            width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            mean: RunningMean::new(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.mean.add(x);
+        let idx = (x - self.origin) / self.width;
+        if idx < 0.0 {
+            self.bins[0] += 1;
+        } else if (idx as usize) < self.bins.len() {
+            self.bins[idx as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Adds a [`Time`] sample in nanoseconds.
+    pub fn add_time(&mut self, t: Time) {
+        self.add(t.as_ns_f64());
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower(&self, i: usize) -> f64 {
+        self.origin + self.width * i as f64
+    }
+
+    /// Number of regular bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples that fell beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.mean.count()
+    }
+
+    /// Mean of all samples (including clamped/overflowed).
+    pub fn mean(&self) -> f64 {
+        self.mean.mean()
+    }
+
+    /// Fraction of samples in bin `i` (0.0 when empty).
+    pub fn bin_fraction(&self, i: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.total() as f64
+        }
+    }
+
+    /// Iterator over `(bin_lower_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_lower(i), c))
+    }
+
+    /// Approximate p-th percentile (0..=100) from bin midpoints.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bin_lower(i) + self.width / 2.0);
+            }
+        }
+        Some(self.bin_lower(self.bins.len() - 1) + self.width / 2.0)
+    }
+}
+
+/// Geometric mean of positive samples; 0.0 when empty.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_sim::stats::geomean;
+///
+/// assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 when empty.
+pub fn arith_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Ratio helper returning 0.0 for a zero denominator.
+///
+/// Reports divide many event counts by "total L2 misses" or "total memory
+/// reads"; a zero denominator means the workload never exercised the path.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basics() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), None);
+        m.add(2.0);
+        m.add(4.0);
+        m.add(9.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+        assert_eq!(m.sum(), 15.0);
+    }
+
+    #[test]
+    fn running_mean_merge() {
+        let mut a = RunningMean::new();
+        a.add(1.0);
+        let mut b = RunningMean::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn running_mean_time_samples() {
+        let mut m = RunningMean::new();
+        m.add_time(Time::from_ns(10));
+        m.add_time(Time::from_ns(20));
+        assert_eq!(m.mean(), 15.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 3);
+        h.add(-5.0); // clamps into bin 0
+        h.add(5.0); // bin 0
+        h.add(15.0); // bin 1
+        h.add(25.0); // bin 2
+        h.add(99.0); // overflow
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_fractions_and_edges() {
+        let mut h = Histogram::new(16.0, 1.0, 13);
+        for x in [16.5, 16.9, 23.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bin_lower(0), 16.0);
+        assert_eq!(h.bin_lower(7), 23.0);
+        assert!((h.bin_fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..10 {
+            for _ in 0..10 {
+                h.add(i as f64 + 0.5);
+            }
+        }
+        assert_eq!(h.percentile(50.0), Some(4.5));
+        assert_eq!(h.percentile(100.0), Some(9.5));
+        let empty = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(empty.percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_iter_matches_bins() {
+        let mut h = Histogram::new(2.0, 2.0, 2);
+        h.add(3.0);
+        let v: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(v, vec![(2.0, 1), (4.0, 0)]);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(arith_mean(&[]), 0.0);
+        assert_eq!(arith_mean(&[2.0, 8.0]), 5.0);
+    }
+
+    #[test]
+    fn ratio_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(5, 10), 0.5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic power-law graph in CSR form.
+//!
+//! Stands in for the LDBC Graphalytics Facebook-like dataset the paper
+//! feeds to graphBIG. Degrees follow a Zipf distribution, so a small set
+//! of hub vertices absorbs a large share of edge endpoints — the
+//! structural property that makes graph traversals irregular yet gives
+//! counter blocks some reuse.
+
+use emcc_sim::rng::ZipfTable;
+use emcc_sim::Rng64;
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_workloads::Graph;
+///
+/// let g = Graph::power_law(1000, 8, 0.8, 42);
+/// assert_eq!(g.num_vertices(), 1000);
+/// assert!(g.num_edges() > 0);
+/// let d0 = g.neighbors(0).len();
+/// assert_eq!(d0, g.degree(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a power-law graph: `n` vertices, `avg_degree` mean
+    /// out-degree, Zipf exponent `theta` over destination popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `avg_degree` is zero.
+    pub fn power_law(n: usize, avg_degree: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one vertex");
+        assert!(avg_degree > 0, "need a positive degree");
+        let mut rng = Rng64::new(seed);
+        // Destination popularity is Zipf over a shuffled identity so hubs
+        // are scattered across the vertex id space (and thus memory).
+        let zipf = ZipfTable::new(n, theta);
+        let mut popularity: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut popularity);
+
+        // Out-degrees are also skewed: hubs have more edges.
+        let mut degrees = vec![0u32; n];
+        let total_edges = n * avg_degree;
+        for _ in 0..total_edges {
+            degrees[rng.zipf(&zipf)] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degrees {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut edges = Vec::with_capacity(total_edges);
+        for &degree in degrees.iter() {
+            for _ in 0..degree {
+                edges.push(popularity[rng.zipf(&zipf)]);
+            }
+        }
+        Graph { offsets, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let s = self.offsets[v] as usize;
+        let e = self.offsets[v + 1] as usize;
+        &self.edges[s..e]
+    }
+
+    /// Global edge-array slot of neighbor `i` of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `i` are out of range.
+    pub fn edge_slot(&self, v: usize, i: usize) -> usize {
+        assert!(i < self.degree(v), "neighbor index out of range");
+        self.offsets[v] as usize + i
+    }
+
+    /// Byte offset of the CSR offsets array entry for `v` within the
+    /// graph's virtual layout (see [`layout`](#virtual-layout) below).
+    ///
+    /// # Virtual layout
+    ///
+    /// The graph occupies one contiguous virtual region:
+    /// `[offsets array | edges array | per-vertex property array]`, with
+    /// 4 B offsets, 4 B edge ids and 8 B properties — the layout graphBIG's
+    /// CSR kernels stream through.
+    pub fn offsets_vaddr(&self, v: usize) -> u64 {
+        (v as u64) * 4
+    }
+
+    /// Byte offset of edge slot `e` in the virtual layout.
+    pub fn edge_vaddr(&self, e: usize) -> u64 {
+        self.edges_base() + (e as u64) * 4
+    }
+
+    /// Byte offset of vertex `v`'s property in the virtual layout.
+    pub fn property_vaddr(&self, v: usize) -> u64 {
+        self.properties_base() + (v as u64) * 8
+    }
+
+    /// First byte of the edges array.
+    pub fn edges_base(&self) -> u64 {
+        (self.offsets.len() as u64) * 4
+    }
+
+    /// First byte of the property array.
+    pub fn properties_base(&self) -> u64 {
+        self.edges_base() + (self.edges.len() as u64) * 4
+    }
+
+    /// Total bytes of the virtual layout.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.properties_base() + (self.num_vertices() as u64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_parameters() {
+        let g = Graph::power_law(500, 10, 0.8, 1);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 5000);
+        let sum: usize = (0..500).map(|v| g.degree(v)).sum();
+        assert_eq!(sum, 5000);
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let g = Graph::power_law(1000, 10, 0.9, 7);
+        let mut degs: Vec<usize> = (0..1000).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = degs[..10].iter().sum();
+        // Top-1% of vertices should hold far more than 1% of edges.
+        assert!(
+            top10 * 100 > g.num_edges() * 5,
+            "top-10 vertices hold only {top10} of {} edges",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn edges_in_range() {
+        let g = Graph::power_law(300, 6, 0.8, 3);
+        for v in 0..300 {
+            for &dst in g.neighbors(v) {
+                assert!((dst as usize) < 300);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Graph::power_law(200, 5, 0.8, 9);
+        let b = Graph::power_law(200, 5, 0.8, 9);
+        assert_eq!(a.edges, b.edges);
+        let c = Graph::power_law(200, 5, 0.8, 10);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn layout_regions_disjoint_and_ordered() {
+        let g = Graph::power_law(100, 4, 0.8, 1);
+        assert!(g.offsets_vaddr(99) < g.edges_base());
+        assert!(g.edge_vaddr(g.num_edges() - 1) < g.properties_base());
+        assert!(g.property_vaddr(99) < g.footprint_bytes());
+    }
+
+    #[test]
+    fn footprint_scales_with_size() {
+        let small = Graph::power_law(100, 4, 0.8, 1);
+        let big = Graph::power_law(1000, 4, 0.8, 1);
+        assert!(big.footprint_bytes() > small.footprint_bytes());
+    }
+}

@@ -1,0 +1,407 @@
+//! The eight graphBIG kernels as trace recorders.
+//!
+//! Each kernel runs a faithful (if simplified) version of its algorithm
+//! over a [`crate::Graph`] and records the memory accesses the CSR
+//! data structures incur, through the huge-page mapper. Vertices are
+//! stride-partitioned across threads, as graphBIG's OpenMP kernels do.
+
+use emcc_sim::Rng64;
+
+use crate::graph::Graph;
+use crate::paging::HugePager;
+use crate::trace::{MemOp, Trace};
+
+/// Records translated memory operations until a target count is reached.
+#[derive(Debug)]
+pub struct Recorder {
+    pager: HugePager,
+    ops: Vec<MemOp>,
+    target: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder with its own huge-page mapping.
+    pub fn new(seed: u64, target: usize) -> Self {
+        Recorder {
+            pager: HugePager::new(seed, 1 << 31), // 128 GB physical space
+            ops: Vec::with_capacity(target),
+            target,
+        }
+    }
+
+    /// True once the target op count is reached.
+    pub fn full(&self) -> bool {
+        self.ops.len() >= self.target
+    }
+
+    /// Records a load of the line containing byte `vaddr`.
+    pub fn read(&mut self, vaddr: u64, gap: u32) {
+        let line = self.pager.translate(emcc_sim::PhysAddr::new(vaddr).line());
+        self.ops.push(MemOp::load(line, gap));
+    }
+
+    /// Records a load whose address depended on the previous load.
+    pub fn read_dep(&mut self, vaddr: u64, gap: u32) {
+        let line = self.pager.translate(emcc_sim::PhysAddr::new(vaddr).line());
+        self.ops.push(MemOp::dependent_load(line, gap));
+    }
+
+    /// Records a store.
+    pub fn write(&mut self, vaddr: u64, gap: u32) {
+        let line = self.pager.translate(emcc_sim::PhysAddr::new(vaddr).line());
+        self.ops.push(MemOp::store(line, gap));
+    }
+
+    /// Finishes recording, truncating any overshoot past the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded.
+    pub fn into_trace(self, name: &str) -> Trace {
+        let mut ops = self.ops;
+        ops.truncate(self.target);
+        Trace::new(name, ops)
+    }
+}
+
+/// Which graph kernel to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKernel {
+    /// PageRank: stream vertices, gather neighbor ranks, scatter own rank.
+    PageRank,
+    /// Greedy graph coloring: gather neighbor colors, pick the smallest.
+    GraphColoring,
+    /// Connected components by label propagation.
+    ConnectedComp,
+    /// Degree centrality: stream edges, increment destination counters.
+    DegreeCentrality,
+    /// Depth-first traversal with an explicit stack.
+    Dfs,
+    /// Breadth-first traversal with a frontier queue.
+    Bfs,
+    /// Triangle counting by neighbor-list intersection.
+    TriangleCount,
+    /// Single-source shortest path (Bellman-Ford-style relaxations).
+    ShortestPath,
+}
+
+impl GraphKernel {
+    /// graphBIG-style kernel name used in the paper's figures.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            GraphKernel::PageRank => "pageRank",
+            GraphKernel::GraphColoring => "graphColoring",
+            GraphKernel::ConnectedComp => "connectedComp",
+            GraphKernel::DegreeCentrality => "degreeCentr",
+            GraphKernel::Dfs => "DFS",
+            GraphKernel::Bfs => "BFS",
+            GraphKernel::TriangleCount => "triangleCount",
+            GraphKernel::ShortestPath => "shortestPath",
+        }
+    }
+
+    /// Records `target` operations of this kernel for one thread.
+    ///
+    /// `thread` / `threads` select the stride partition; each thread uses
+    /// its own pager seed so multi-programmed copies do not alias.
+    pub fn record(
+        self,
+        graph: &Graph,
+        seed: u64,
+        target: usize,
+        thread: usize,
+        threads: usize,
+    ) -> Trace {
+        let mut rec = Recorder::new(seed ^ (thread as u64) << 32, target);
+        let mut rng = Rng64::new(seed.wrapping_add(thread as u64 * 0x9E37));
+        match self {
+            GraphKernel::PageRank => pagerank(graph, &mut rec, thread, threads),
+            GraphKernel::GraphColoring => coloring(graph, &mut rec, thread, threads),
+            GraphKernel::ConnectedComp => connected(graph, &mut rec, thread, threads),
+            GraphKernel::DegreeCentrality => degree(graph, &mut rec, thread, threads),
+            GraphKernel::Dfs => dfs(graph, &mut rec, &mut rng),
+            GraphKernel::Bfs => bfs(graph, &mut rec, &mut rng),
+            GraphKernel::TriangleCount => triangles(graph, &mut rec, thread, threads),
+            GraphKernel::ShortestPath => sssp(graph, &mut rec, &mut rng),
+        }
+        rec.into_trace(self.paper_name())
+    }
+}
+
+fn pagerank(g: &Graph, rec: &mut Recorder, thread: usize, threads: usize) {
+    while !rec.full() {
+        for v in (thread..g.num_vertices()).step_by(threads) {
+            rec.read(g.offsets_vaddr(v), 4);
+            for i in 0..g.degree(v) {
+                rec.read(g.edge_vaddr(edge_index(g, v, i)), 2);
+                let dst = g.neighbors(v)[i] as usize;
+                rec.read_dep(g.property_vaddr(dst), 3);
+                if rec.full() {
+                    return;
+                }
+            }
+            rec.write(g.property_vaddr(v), 6);
+            if rec.full() {
+                return;
+            }
+        }
+    }
+}
+
+fn coloring(g: &Graph, rec: &mut Recorder, thread: usize, threads: usize) {
+    while !rec.full() {
+        for v in (thread..g.num_vertices()).step_by(threads) {
+            rec.read(g.offsets_vaddr(v), 3);
+            for (i, &dst) in g.neighbors(v).iter().enumerate() {
+                rec.read(g.edge_vaddr(edge_index(g, v, i)), 2);
+                rec.read_dep(g.property_vaddr(dst as usize), 4);
+                if rec.full() {
+                    return;
+                }
+            }
+            rec.write(g.property_vaddr(v), 8);
+            if rec.full() {
+                return;
+            }
+        }
+    }
+}
+
+fn connected(g: &Graph, rec: &mut Recorder, thread: usize, threads: usize) {
+    while !rec.full() {
+        for v in (thread..g.num_vertices()).step_by(threads) {
+            rec.read(g.offsets_vaddr(v), 3);
+            rec.read(g.property_vaddr(v), 2);
+            for (i, &dst) in g.neighbors(v).iter().enumerate() {
+                rec.read(g.edge_vaddr(edge_index(g, v, i)), 2);
+                // Label propagation: read the neighbor label, maybe write
+                // ours back.
+                rec.read_dep(g.property_vaddr(dst as usize), 2);
+                rec.write(g.property_vaddr(v), 4);
+                if rec.full() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn degree(g: &Graph, rec: &mut Recorder, thread: usize, threads: usize) {
+    while !rec.full() {
+        for v in (thread..g.num_vertices()).step_by(threads) {
+            rec.read(g.offsets_vaddr(v), 2);
+            for (i, &dst) in g.neighbors(v).iter().enumerate() {
+                rec.read(g.edge_vaddr(edge_index(g, v, i)), 1);
+                // Increment the destination's in-degree: RMW.
+                rec.read_dep(g.property_vaddr(dst as usize), 1);
+                rec.write(g.property_vaddr(dst as usize), 1);
+                if rec.full() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn dfs(g: &Graph, rec: &mut Recorder, rng: &mut Rng64) {
+    let n = g.num_vertices();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut visited = vec![false; n];
+    let mut visited_count = 0;
+    while !rec.full() {
+        if stack.is_empty() {
+            if visited_count >= n {
+                visited.iter_mut().for_each(|v| *v = false);
+                visited_count = 0;
+            }
+            stack.push(rng.index(n));
+        }
+        let v = stack.pop().expect("stack non-empty");
+        // Visited check: dependent on the popped vertex id.
+        rec.read_dep(g.property_vaddr(v), 3);
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        visited_count += 1;
+        rec.write(g.property_vaddr(v), 1);
+        rec.read_dep(g.offsets_vaddr(v), 2);
+        for (i, &dst) in g.neighbors(v).iter().enumerate() {
+            rec.read(g.edge_vaddr(edge_index(g, v, i)), 1);
+            if !visited[dst as usize] {
+                stack.push(dst as usize);
+            }
+            if rec.full() {
+                return;
+            }
+        }
+    }
+}
+
+fn bfs(g: &Graph, rec: &mut Recorder, rng: &mut Rng64) {
+    use std::collections::VecDeque;
+    let n = g.num_vertices();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut visited = vec![false; n];
+    let mut visited_count = 0;
+    while !rec.full() {
+        if queue.is_empty() {
+            if visited_count >= n {
+                visited.iter_mut().for_each(|v| *v = false);
+                visited_count = 0;
+            }
+            queue.push_back(rng.index(n));
+        }
+        let v = queue.pop_front().expect("queue non-empty");
+        rec.read_dep(g.property_vaddr(v), 3);
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        visited_count += 1;
+        rec.write(g.property_vaddr(v), 1);
+        rec.read_dep(g.offsets_vaddr(v), 2);
+        for (i, &dst) in g.neighbors(v).iter().enumerate() {
+            rec.read(g.edge_vaddr(edge_index(g, v, i)), 1);
+            if !visited[dst as usize] {
+                queue.push_back(dst as usize);
+            }
+            if rec.full() {
+                return;
+            }
+        }
+    }
+}
+
+fn triangles(g: &Graph, rec: &mut Recorder, thread: usize, threads: usize) {
+    while !rec.full() {
+        for v in (thread..g.num_vertices()).step_by(threads) {
+            rec.read(g.offsets_vaddr(v), 2);
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                rec.read(g.edge_vaddr(edge_index(g, v, i)), 1);
+                // Intersect: walk u's neighbor list (dependent on u).
+                rec.read_dep(g.offsets_vaddr(u as usize), 2);
+                let du = g.degree(u as usize).min(8);
+                for j in 0..du {
+                    rec.read(g.edge_vaddr(edge_index(g, u as usize, j)), 1);
+                    if rec.full() {
+                        return;
+                    }
+                }
+                if rec.full() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn sssp(g: &Graph, rec: &mut Recorder, rng: &mut Rng64) {
+    use std::collections::VecDeque;
+    let n = g.num_vertices();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut dist = vec![u32::MAX; n];
+    while !rec.full() {
+        if queue.is_empty() {
+            let s = rng.index(n);
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+        let v = queue.pop_front().expect("queue non-empty");
+        rec.read_dep(g.property_vaddr(v), 2); // dist[v]
+        rec.read_dep(g.offsets_vaddr(v), 2);
+        for (i, &dst) in g.neighbors(v).iter().enumerate() {
+            rec.read(g.edge_vaddr(edge_index(g, v, i)), 1);
+            rec.read_dep(g.property_vaddr(dst as usize), 2); // dist[dst]
+            let nd = dist[v].saturating_add(1);
+            if nd < dist[dst as usize] {
+                dist[dst as usize] = nd;
+                rec.write(g.property_vaddr(dst as usize), 2);
+                queue.push_back(dst as usize);
+            }
+            if rec.full() {
+                return;
+            }
+        }
+    }
+}
+
+/// Global edge-array index of neighbor `i` of vertex `v`.
+fn edge_index(g: &Graph, v: usize, i: usize) -> usize {
+    g.edge_slot(v, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> Graph {
+        Graph::power_law(2_000, 8, 0.8, 11)
+    }
+
+    #[test]
+    fn all_kernels_record_target_ops() {
+        let g = small_graph();
+        for k in [
+            GraphKernel::PageRank,
+            GraphKernel::GraphColoring,
+            GraphKernel::ConnectedComp,
+            GraphKernel::DegreeCentrality,
+            GraphKernel::Dfs,
+            GraphKernel::Bfs,
+            GraphKernel::TriangleCount,
+            GraphKernel::ShortestPath,
+        ] {
+            let t = k.record(&g, 5, 5_000, 0, 4);
+            assert_eq!(t.len(), 5_000, "{k:?} recorded wrong count");
+        }
+    }
+
+    #[test]
+    fn kernels_have_distinct_write_ratios() {
+        let g = small_graph();
+        let tri = GraphKernel::TriangleCount.record(&g, 5, 10_000, 0, 4);
+        let deg = GraphKernel::DegreeCentrality.record(&g, 5, 10_000, 0, 4);
+        // Triangle counting is read-dominated; degree centrality does RMW.
+        assert!(tri.write_ratio() < 0.05);
+        assert!(deg.write_ratio() > 0.2);
+    }
+
+    #[test]
+    fn traversals_are_dependence_heavy() {
+        let g = small_graph();
+        let bfs = GraphKernel::Bfs.record(&g, 5, 10_000, 0, 1);
+        let deps = bfs
+            .ops()
+            .iter()
+            .filter(|o| o.depends_on_prev)
+            .count();
+        assert!(
+            deps * 5 > bfs.len(),
+            "BFS should have >20% dependent loads, got {deps}"
+        );
+    }
+
+    #[test]
+    fn threads_partition_vertices() {
+        let g = small_graph();
+        let t0 = GraphKernel::PageRank.record(&g, 5, 2_000, 0, 4);
+        let t1 = GraphKernel::PageRank.record(&g, 5, 2_000, 1, 4);
+        // Different partitions + different pager seeds ⇒ different lines.
+        let l0: std::collections::HashSet<u64> =
+            t0.ops().iter().map(|o| o.line.get()).collect();
+        let l1: std::collections::HashSet<u64> =
+            t1.ops().iter().map(|o| o.line.get()).collect();
+        let shared = l0.intersection(&l1).count();
+        assert!(shared * 10 < l0.len(), "partitions overlap too much");
+    }
+
+    #[test]
+    fn deterministic_recording() {
+        let g = small_graph();
+        let a = GraphKernel::Dfs.record(&g, 5, 3_000, 0, 4);
+        let b = GraphKernel::Dfs.record(&g, 5, 3_000, 0, 4);
+        assert_eq!(a.ops(), b.ops());
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic workload generators standing in for the paper's benchmarks.
+//!
+//! The paper evaluates eight graphBIG kernels on an LDBC Facebook-like
+//! graph, three irregular SPEC/PARSEC programs (canneal, omnetpp, mcf) and
+//! fifteen regular SPEC/PARSEC programs. None of those binaries or traces
+//! are available here, so each benchmark is a *generator* that reproduces
+//! the properties secure-memory performance depends on:
+//!
+//! * **footprint** (drives counter miss rates in MC/LLC — Figs 6/7),
+//! * **irregularity** (pointer-chase vs streaming mix, Zipf-skewed graph
+//!   structure — drives LLC miss rate and MLP),
+//! * **read/write ratio** (drives counter updates, overflows and write
+//!   drain — Figs 15/22/23),
+//! * **memory intensity** (instructions between accesses — drives
+//!   bandwidth utilization, Fig 15).
+//!
+//! The graph kernels genuinely traverse a synthetic power-law graph in CSR
+//! form and record the resulting accesses, so page-level counter locality
+//! is structural, not statistically faked. Virtual addresses go through a
+//! 2 MB huge-page mapping (§V: all experiments run under 2 MB pages).
+//!
+//! # Examples
+//!
+//! ```
+//! use emcc_workloads::{Benchmark, TraceSource};
+//! use emcc_workloads::kernels::GraphKernel;
+//! use emcc_workloads::presets::WorkloadScale;
+//!
+//! let bfs = Benchmark::Graph(GraphKernel::Bfs);
+//! let mut sources = bfs.build_scaled(42, 4, WorkloadScale::Test);
+//! assert_eq!(sources.len(), 4); // one stream per core
+//! let op = sources[0].next_op();
+//! assert!(op.gap < 1_000); // a plausible op is always produced
+//! ```
+
+pub mod graph;
+pub mod kernels;
+pub mod paging;
+pub mod pointer;
+pub mod presets;
+pub mod stream;
+pub mod trace;
+
+pub use graph::Graph;
+pub use paging::HugePager;
+pub use presets::Benchmark;
+pub use trace::{MemOp, Trace, TraceCursor, TraceSource};

@@ -1,0 +1,180 @@
+//! Irregular non-graph benchmarks: canneal, omnetpp, mcf analogs.
+//!
+//! These three SPEC/PARSEC programs are the paper's non-graph irregular
+//! workloads. Their defining traits:
+//!
+//! * **canneal** — simulated annealing over a huge netlist: pairs of
+//!   *random* element accesses (two dependent loads each) followed by an
+//!   occasional swap (two stores); the largest effective footprint of the
+//!   suite and the highest MC counter-miss rate (the paper's Fig 6 —
+//!   which is why it gains the most from EMCC, +12.5%).
+//! * **omnetpp** — discrete-event simulation: heap operations on an event
+//!   queue (semi-regular) mixed with scattered event-object accesses;
+//!   moderate intensity.
+//! * **mcf** — network-simplex over linked arc/node lists: long dependent
+//!   pointer chains with frequent node updates; the highest memory
+//!   intensity of the suite (Fig 15's biggest bandwidth consumer).
+
+use emcc_sim::Rng64;
+
+use crate::paging::HugePager;
+use crate::trace::{MemOp, Trace};
+
+fn translate(pager: &mut HugePager, vaddr: u64) -> emcc_sim::LineAddr {
+    pager.translate(emcc_sim::PhysAddr::new(vaddr).line())
+}
+
+/// Records a canneal-like trace: `target` ops over `footprint_bytes`.
+pub fn canneal(seed: u64, target: usize, footprint_bytes: u64) -> Trace {
+    let mut pager = HugePager::new(seed, 1 << 31);
+    let mut rng = Rng64::new(seed ^ 0xCA77EA1);
+    let elements = footprint_bytes / 64;
+    let mut ops = Vec::with_capacity(target);
+    while ops.len() < target {
+        // Pick two random elements: read both (dependent: the element id
+        // comes from the netlist structure), evaluate, sometimes swap.
+        let a = rng.below(elements) * 64;
+        let b = rng.below(elements) * 64;
+        ops.push(MemOp::dependent_load(translate(&mut pager, a), 6));
+        ops.push(MemOp::dependent_load(translate(&mut pager, b), 4));
+        if rng.chance(0.25) {
+            ops.push(MemOp::store(translate(&mut pager, a), 2));
+            ops.push(MemOp::store(translate(&mut pager, b), 2));
+        }
+    }
+    ops.truncate(target);
+    Trace::new("canneal", ops)
+}
+
+/// Records an omnetpp-like trace.
+pub fn omnetpp(seed: u64, target: usize, footprint_bytes: u64) -> Trace {
+    let mut pager = HugePager::new(seed, 1 << 31);
+    let mut rng = Rng64::new(seed ^ 0x0414E7);
+    let heap_bytes = footprint_bytes / 16; // event queue
+    let objects = footprint_bytes / 64;
+    let mut ops = Vec::with_capacity(target);
+    let mut heap_pos: u64 = 1;
+    while ops.len() < target {
+        // Heap pop: walk log(n) levels of the binary heap array
+        // (semi-regular, prefetchable near the root).
+        heap_pos = (heap_pos * 2 + rng.below(2)) % (heap_bytes / 16).max(2);
+        let mut h = heap_pos;
+        for _ in 0..4 {
+            ops.push(MemOp::load(translate(&mut pager, h * 16), 8));
+            h /= 2;
+        }
+        // Event object access: scattered, dependent on the heap entry.
+        let obj = rng.below(objects) * 64;
+        ops.push(MemOp::dependent_load(translate(&mut pager, obj), 14));
+        ops.push(MemOp::store(translate(&mut pager, obj), 10));
+        // Schedule a follow-up event: heap push (writes along a path).
+        let mut p = heap_pos;
+        for _ in 0..2 {
+            ops.push(MemOp::store(translate(&mut pager, p * 16), 6));
+            p = p * 2 + 1;
+        }
+    }
+    ops.truncate(target);
+    Trace::new("omnetpp", ops)
+}
+
+/// Records an mcf-like trace.
+///
+/// The network simplex walks several arc chains concurrently, so while
+/// each chain is a dependent pointer chase, the *trace* interleaves a few
+/// of them — only hops within the same chain depend on the immediately
+/// preceding access. That is what gives real mcf both terrible locality
+/// *and* the suite's highest bandwidth demand (Fig 15).
+pub fn mcf(seed: u64, target: usize, footprint_bytes: u64) -> Trace {
+    const CHAINS: usize = 4;
+    let mut pager = HugePager::new(seed, 1 << 31);
+    let mut rng = Rng64::new(seed ^ 0x33CF);
+    let nodes = footprint_bytes / 128; // node + arc records
+    let mut ops = Vec::with_capacity(target);
+    let mut cur = [0u64; CHAINS];
+    for (i, c) in cur.iter_mut().enumerate() {
+        *c = rng.below(nodes).wrapping_add(i as u64 * 7919) % nodes;
+    }
+    let mut which = 0usize;
+    while ops.len() < target {
+        let c = &mut cur[which];
+        // Two fields of the node record; the second depends on the first,
+        // the first depends on the *previous hop of this chain*, which the
+        // round-robin interleaving usually hides.
+        let dep_first = which == 0; // cross-chain switches break the dependence
+        let a = translate(&mut pager, *c * 128);
+        ops.push(if dep_first {
+            MemOp::dependent_load(a, 3)
+        } else {
+            MemOp::load(a, 2)
+        });
+        ops.push(MemOp::dependent_load(translate(&mut pager, *c * 128 + 64), 2));
+        *c = (c.wrapping_mul(0x5DEECE66D).wrapping_add(11)) % nodes;
+        // Occasional pivot update: write back node state.
+        if rng.chance(0.12) {
+            ops.push(MemOp::store(translate(&mut pager, *c * 128), 2));
+        }
+        which = (which + 1) % CHAINS;
+    }
+    ops.truncate(target);
+    Trace::new("mcf", ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn canneal_is_read_heavy_and_scattered() {
+        let t = canneal(1, 20_000, 256 * MB);
+        assert_eq!(t.len(), 20_000);
+        assert!(t.write_ratio() < 0.3);
+        // Scattered: the number of distinct lines approaches the op count.
+        let distinct: std::collections::HashSet<u64> =
+            t.ops().iter().map(|o| o.line.get()).collect();
+        assert!(distinct.len() * 2 > t.len());
+    }
+
+    #[test]
+    fn mcf_has_highest_intensity() {
+        let m = mcf(1, 20_000, 256 * MB);
+        let o = omnetpp(1, 20_000, 256 * MB);
+        assert!(
+            m.mean_gap() < o.mean_gap(),
+            "mcf must be more memory-intensive than omnetpp"
+        );
+    }
+
+    #[test]
+    fn mcf_mixes_dependence_with_chain_parallelism() {
+        // Each chain is a pointer chase (the second field of every record
+        // depends on the first), but four chains interleave, so roughly
+        // half the ops are issueable in parallel — mcf's high-MAPKI,
+        // high-bandwidth signature.
+        let m = mcf(1, 20_000, 256 * MB);
+        let deps = m.ops().iter().filter(|o| o.depends_on_prev).count();
+        let frac = deps as f64 / m.len() as f64;
+        assert!(
+            (0.35..0.75).contains(&frac),
+            "mcf dependent fraction {frac:.2} out of range"
+        );
+    }
+
+    #[test]
+    fn omnetpp_mixes_regular_and_irregular() {
+        let t = omnetpp(1, 20_000, 256 * MB);
+        let deps = t.ops().iter().filter(|o| o.depends_on_prev).count();
+        // Only the scattered object accesses are dependent — a minority.
+        assert!(deps * 4 < t.len());
+        assert!(t.write_ratio() > 0.2, "heap pushes write");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = canneal(7, 5_000, 64 * MB);
+        let b = canneal(7, 5_000, 64 * MB);
+        assert_eq!(a.ops(), b.ops());
+    }
+}

@@ -1,0 +1,266 @@
+//! Named benchmarks and suite builders.
+
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::kernels::GraphKernel;
+use crate::pointer;
+use crate::stream::regular_profiles;
+use crate::trace::TraceSource;
+
+const MB: u64 = 1024 * 1024;
+
+/// How big to make the synthetic workloads.
+///
+/// Counter miss rates depend on footprint relative to the cache sizes, so
+/// experiments meant to match the paper should use [`WorkloadScale::Paper`];
+/// the smaller scales exist for fast tests and Criterion benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadScale {
+    /// Tiny: unit tests (16 MB-class footprints, 2 k-vertex graphs).
+    Test,
+    /// Medium: Criterion benches (128 MB-class, 100 k-vertex graphs).
+    Small,
+    /// Full: figure regeneration (256–512 MB-class, 800 k-vertex graphs).
+    Paper,
+}
+
+impl WorkloadScale {
+    /// Graph size as (vertices, average degree).
+    ///
+    /// Chosen so the traversed structure exceeds the 8 MB LLC by a wide
+    /// margin at `Small`/`Paper` scales (counter pressure is the point).
+    pub fn graph_size(self) -> (usize, usize) {
+        match self {
+            WorkloadScale::Test => (2_000, 8),
+            WorkloadScale::Small => (400_000, 12),
+            WorkloadScale::Paper => (800_000, 16),
+        }
+    }
+
+    /// Operations to record per core (bounds warmup + measure windows).
+    pub fn ops_per_core(self) -> usize {
+        match self {
+            WorkloadScale::Test => 20_000,
+            WorkloadScale::Small => 150_000,
+            WorkloadScale::Paper => 400_000,
+        }
+    }
+
+    /// Footprint multiplier relative to the paper-scale value.
+    fn footprint(self, paper_bytes: u64) -> u64 {
+        match self {
+            WorkloadScale::Test => (paper_bytes / 16).max(16 * MB),
+            WorkloadScale::Small => (paper_bytes / 2).max(64 * MB),
+            WorkloadScale::Paper => paper_bytes,
+        }
+    }
+}
+
+/// A named benchmark from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// One of the eight graphBIG kernels (multi-threaded over one graph).
+    Graph(GraphKernel),
+    /// PARSEC canneal (multi-programmed).
+    Canneal,
+    /// SPEC omnetpp (multi-programmed).
+    Omnetpp,
+    /// SPEC mcf (multi-programmed).
+    Mcf,
+    /// One of the fifteen regular SPEC/PARSEC programs (by index into
+    /// [`regular_profiles`]).
+    Regular(usize),
+}
+
+impl Benchmark {
+    /// The eleven irregular benchmarks, in the paper's figure order.
+    pub fn irregular_suite() -> Vec<Benchmark> {
+        let mut v: Vec<Benchmark> = [
+            GraphKernel::PageRank,
+            GraphKernel::GraphColoring,
+            GraphKernel::ConnectedComp,
+            GraphKernel::DegreeCentrality,
+            GraphKernel::Dfs,
+            GraphKernel::Bfs,
+            GraphKernel::TriangleCount,
+            GraphKernel::ShortestPath,
+        ]
+        .into_iter()
+        .map(Benchmark::Graph)
+        .collect();
+        v.extend([Benchmark::Canneal, Benchmark::Omnetpp, Benchmark::Mcf]);
+        v
+    }
+
+    /// The fifteen regular benchmarks of Figure 24.
+    pub fn regular_suite() -> Vec<Benchmark> {
+        (0..regular_profiles().len()).map(Benchmark::Regular).collect()
+    }
+
+    /// The benchmark's display name (paper's figure label).
+    pub fn name(&self) -> String {
+        match self {
+            Benchmark::Graph(k) => k.paper_name().to_string(),
+            Benchmark::Canneal => "canneal".to_string(),
+            Benchmark::Omnetpp => "omnetpp".to_string(),
+            Benchmark::Mcf => "mcf".to_string(),
+            Benchmark::Regular(i) => regular_profiles()[*i].name.to_string(),
+        }
+    }
+
+    /// Builds per-core trace sources at paper scale.
+    pub fn build(self, seed: u64, cores: usize) -> Vec<Box<dyn TraceSource>> {
+        self.build_scaled(seed, cores, WorkloadScale::Paper)
+    }
+
+    /// Builds per-core trace sources at an explicit scale.
+    ///
+    /// Graph kernels are multi-threaded: all cores share one graph, each
+    /// records its own vertex partition. SPEC/PARSEC benchmarks are
+    /// multi-programmed: each core runs an independent instance with a
+    /// distinct seed (the paper's §V methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn build_scaled(
+        self,
+        seed: u64,
+        cores: usize,
+        scale: WorkloadScale,
+    ) -> Vec<Box<dyn TraceSource>> {
+        assert!(cores > 0, "need at least one core");
+        let ops = scale.ops_per_core();
+        match self {
+            Benchmark::Graph(kernel) => {
+                let (n, d) = scale.graph_size();
+                let graph = cached_graph(n, d, seed);
+                (0..cores)
+                    .map(|t| {
+                        let trace = kernel.record(&graph, seed, ops, t, cores);
+                        Box::new(trace.cursor(0)) as Box<dyn TraceSource>
+                    })
+                    .collect()
+            }
+            Benchmark::Canneal => {
+                Self::multiprogram(cores, |i| {
+                    pointer::canneal(seed + i, ops, scale.footprint(512 * MB))
+                })
+            }
+            Benchmark::Omnetpp => {
+                Self::multiprogram(cores, |i| {
+                    pointer::omnetpp(seed + i, ops, scale.footprint(256 * MB))
+                })
+            }
+            Benchmark::Mcf => Self::multiprogram(cores, |i| {
+                pointer::mcf(seed + i, ops, scale.footprint(384 * MB))
+            }),
+            Benchmark::Regular(idx) => {
+                let profiles = regular_profiles();
+                let p = profiles[idx];
+                let mut scaled = p;
+                scaled.footprint_bytes = scale.footprint(p.footprint_bytes);
+                Self::multiprogram(cores, |i| scaled.record(seed + i, ops))
+            }
+        }
+    }
+
+    fn multiprogram<F: Fn(u64) -> crate::trace::Trace>(
+        cores: usize,
+        make: F,
+    ) -> Vec<Box<dyn TraceSource>> {
+        (0..cores)
+            .map(|i| Box::new(make(i as u64 * 7919).cursor(0)) as Box<dyn TraceSource>)
+            .collect()
+    }
+}
+
+/// Process-wide cache of built graphs: experiment sweeps re-run the same
+/// benchmark under many configurations, and graph construction dominates
+/// workload-build time at paper scale.
+fn cached_graph(n: usize, d: usize, seed: u64) -> std::sync::Arc<Graph> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type GraphCache = Mutex<HashMap<(usize, usize, u64), Arc<Graph>>>;
+    static CACHE: OnceLock<GraphCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("graph cache poisoned");
+    guard
+        .entry((n, d, seed))
+        .or_insert_with(|| Arc::new(Graph::power_law(n, d, 0.85, seed)))
+        .clone()
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_counts() {
+        assert_eq!(Benchmark::irregular_suite().len(), 11);
+        assert_eq!(Benchmark::regular_suite().len(), 15);
+    }
+
+    #[test]
+    fn irregular_suite_order_matches_figures() {
+        let names: Vec<String> = Benchmark::irregular_suite()
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "pageRank",
+                "graphColoring",
+                "connectedComp",
+                "degreeCentr",
+                "DFS",
+                "BFS",
+                "triangleCount",
+                "shortestPath",
+                "canneal",
+                "omnetpp",
+                "mcf"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_produces_one_source_per_core() {
+        let srcs = Benchmark::Canneal.build_scaled(1, 4, WorkloadScale::Test);
+        assert_eq!(srcs.len(), 4);
+        for mut s in srcs {
+            let _ = s.next_op();
+            assert_eq!(s.name(), "canneal");
+        }
+    }
+
+    #[test]
+    fn graph_benchmark_builds_all_threads() {
+        let mut srcs =
+            Benchmark::Graph(GraphKernel::Bfs).build_scaled(1, 4, WorkloadScale::Test);
+        let ops: Vec<_> = srcs.iter_mut().map(|s| s.next_op()).collect();
+        assert_eq!(ops.len(), 4);
+    }
+
+    #[test]
+    fn multiprogrammed_instances_do_not_alias() {
+        let mut srcs = Benchmark::Mcf.build_scaled(1, 2, WorkloadScale::Test);
+        let a: Vec<u64> = (0..100).map(|_| srcs[0].next_op().line.get()).collect();
+        let b: Vec<u64> = (0..100).map(|_| srcs[1].next_op().line.get()).collect();
+        assert_ne!(a, b, "instances must touch different physical lines");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Mcf.to_string(), "mcf");
+        assert_eq!(Benchmark::Regular(0).to_string(), "blackscholes");
+    }
+}

@@ -1,0 +1,178 @@
+//! Regular (cache-friendly) benchmark analogs for SPEC/PARSEC.
+//!
+//! The paper's Figure 24 checks that EMCC's speculative counter accesses
+//! stay harmless for fifteen *regular* programs. These workloads share a
+//! template: mostly-streaming sweeps over a few arrays plus a compute-heavy
+//! phase with a small resident working set, parameterized per benchmark.
+
+use emcc_sim::Rng64;
+
+use crate::paging::HugePager;
+use crate::trace::{MemOp, Trace};
+
+/// Parameters for the regular-workload template.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamProfile {
+    /// Benchmark name (paper's label).
+    pub name: &'static str,
+    /// Total touched bytes across the streamed arrays.
+    pub footprint_bytes: u64,
+    /// Number of parallel streams (arrays swept together).
+    pub streams: u32,
+    /// Fraction of accesses that are scattered (cold, random) rather than
+    /// streaming.
+    pub scatter_fraction: f64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// Mean instruction gap between accesses (memory intensity knob).
+    pub mean_gap: u32,
+    /// Fraction of accesses that hit a small hot working set (fits in L2).
+    pub hot_fraction: f64,
+}
+
+impl StreamProfile {
+    /// Records `target` ops of this profile.
+    pub fn record(&self, seed: u64, target: usize) -> Trace {
+        let mut pager = HugePager::new(seed, 1 << 31);
+        let mut rng = Rng64::new(seed ^ 0x57AE);
+        let lines = (self.footprint_bytes / 64).max(64);
+        let hot_lines = 4096; // 256 KB hot set — L2 resident
+        let stride_cursor: &mut Vec<u64> = &mut (0..self.streams as u64)
+            .map(|s| s * (lines / u64::from(self.streams).max(1)))
+            .collect();
+        let mut ops = Vec::with_capacity(target);
+        let mut s = 0usize;
+        while ops.len() < target {
+            let gap = self.gap(&mut rng);
+            let u = rng.unit_f64();
+            let (line, dep) = if u < self.hot_fraction {
+                (rng.below(hot_lines), false)
+            } else if u < self.hot_fraction + self.scatter_fraction {
+                (rng.below(lines), true)
+            } else {
+                // Next element of the round-robin stream.
+                let c = &mut stride_cursor[s];
+                *c = (*c + 1) % lines;
+                let line = *c;
+                s = (s + 1) % self.streams as usize;
+                (line, false)
+            };
+            let pa = pager.translate(emcc_sim::LineAddr::new(line));
+            let op = if rng.chance(self.write_fraction) {
+                MemOp::store(pa, gap)
+            } else if dep {
+                MemOp::dependent_load(pa, gap)
+            } else {
+                MemOp::load(pa, gap)
+            };
+            ops.push(op);
+        }
+        Trace::new(self.name, ops)
+    }
+
+    fn gap(&self, rng: &mut Rng64) -> u32 {
+        // Jitter the gap ±50% around the mean.
+        let lo = u64::from(self.mean_gap) / 2;
+        let hi = u64::from(self.mean_gap) * 3 / 2;
+        rng.range_inclusive(lo.max(1), hi.max(2)) as u32
+    }
+}
+
+const MB: u64 = 1024 * 1024;
+
+/// The fifteen regular SPEC/PARSEC profiles of Figure 24.
+pub fn regular_profiles() -> Vec<StreamProfile> {
+    // Footprints/intensities follow each program's published character:
+    // compute-bound ones (blackscholes, exchange2, leela, deepsjeng) have
+    // tiny effective footprints and long gaps; streaming ones (bwaves,
+    // streamcluster, cactuBSSN, facesim) sweep big arrays.
+    vec![
+        profile("blackscholes", 16 * MB, 2, 0.01, 0.10, 120, 0.70),
+        profile("bodytrack", 64 * MB, 4, 0.05, 0.15, 80, 0.55),
+        profile("ferret", 128 * MB, 4, 0.10, 0.10, 60, 0.45),
+        profile("freqmine", 192 * MB, 2, 0.12, 0.15, 70, 0.40),
+        profile("streamcluster", 256 * MB, 2, 0.03, 0.05, 25, 0.15),
+        profile("x264", 96 * MB, 6, 0.04, 0.25, 60, 0.50),
+        profile("facesim", 256 * MB, 6, 0.05, 0.30, 40, 0.25),
+        profile("fluidanimate", 192 * MB, 4, 0.06, 0.30, 50, 0.35),
+        profile("bwaves_s", 512 * MB, 8, 0.01, 0.25, 30, 0.10),
+        profile("exchange2_s", 8 * MB, 1, 0.01, 0.10, 200, 0.85),
+        profile("perlbench_s", 48 * MB, 2, 0.10, 0.20, 90, 0.60),
+        profile("cactuBSSN_s", 384 * MB, 8, 0.02, 0.30, 35, 0.15),
+        profile("deepsjeng_s", 24 * MB, 1, 0.08, 0.15, 110, 0.70),
+        profile("leela_s", 16 * MB, 1, 0.05, 0.10, 140, 0.75),
+        profile("x264_s", 96 * MB, 6, 0.04, 0.25, 60, 0.50),
+    ]
+}
+
+fn profile(
+    name: &'static str,
+    footprint_bytes: u64,
+    streams: u32,
+    scatter_fraction: f64,
+    write_fraction: f64,
+    mean_gap: u32,
+    hot_fraction: f64,
+) -> StreamProfile {
+    StreamProfile {
+        name,
+        footprint_bytes,
+        streams,
+        scatter_fraction,
+        write_fraction,
+        mean_gap,
+        hot_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_profiles_with_unique_names_exist() {
+        let ps = regular_profiles();
+        assert_eq!(ps.len(), 15);
+        // x264 appears as both PARSEC x264 and SPEC x264_s — distinct labels.
+        let names: std::collections::HashSet<&str> = ps.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn recording_hits_target() {
+        let p = &regular_profiles()[0];
+        let t = p.record(3, 10_000);
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.name(), "blackscholes");
+    }
+
+    #[test]
+    fn compute_bound_profiles_have_long_gaps() {
+        let ps = regular_profiles();
+        let black = ps.iter().find(|p| p.name == "blackscholes").unwrap();
+        let stream = ps.iter().find(|p| p.name == "streamcluster").unwrap();
+        let tb = black.record(1, 20_000);
+        let ts = stream.record(1, 20_000);
+        assert!(tb.mean_gap() > 2.0 * ts.mean_gap());
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_lines() {
+        let hot = profile("hot", 256 * MB, 2, 0.0, 0.0, 10, 0.9).record(1, 20_000);
+        let cold = profile("cold", 256 * MB, 2, 0.0, 0.0, 10, 0.0).record(1, 20_000);
+        let distinct = |t: &Trace| {
+            t.ops()
+                .iter()
+                .map(|o| o.line.get())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(&hot) * 3 < distinct(&cold));
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let t = profile("w", 64 * MB, 2, 0.0, 0.3, 10, 0.0).record(5, 50_000);
+        assert!((t.write_ratio() - 0.3).abs() < 0.02);
+    }
+}

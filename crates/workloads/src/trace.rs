@@ -1,0 +1,201 @@
+//! Memory-access traces and trace sources.
+
+use emcc_sim::LineAddr;
+
+/// One memory access as the core model consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Physical line touched (post huge-page translation).
+    pub line: LineAddr,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+    /// Non-memory instructions executed before this access.
+    pub gap: u32,
+    /// True when the access's address depends on the previous load's data
+    /// (pointer chasing) — it cannot issue until that load completes.
+    pub depends_on_prev: bool,
+}
+
+impl MemOp {
+    /// A load.
+    pub fn load(line: LineAddr, gap: u32) -> Self {
+        MemOp {
+            line,
+            is_write: false,
+            gap,
+            depends_on_prev: false,
+        }
+    }
+
+    /// A load whose address depends on the previous load.
+    pub fn dependent_load(line: LineAddr, gap: u32) -> Self {
+        MemOp {
+            line,
+            is_write: false,
+            gap,
+            depends_on_prev: true,
+        }
+    }
+
+    /// A store.
+    pub fn store(line: LineAddr, gap: u32) -> Self {
+        MemOp {
+            line,
+            is_write: true,
+            gap,
+            depends_on_prev: false,
+        }
+    }
+}
+
+/// An endless producer of memory operations for one hardware thread.
+///
+/// Sources never run dry: finite recorded traces replay cyclically, which
+/// matches the paper's methodology of simulating a fixed time window from
+/// a representative region.
+pub trait TraceSource {
+    /// The next memory operation.
+    fn next_op(&mut self) -> MemOp;
+
+    /// Human-readable benchmark name.
+    fn name(&self) -> &str;
+}
+
+/// A recorded, finite trace.
+///
+/// # Examples
+///
+/// ```
+/// use emcc_workloads::{MemOp, Trace};
+/// use emcc_sim::LineAddr;
+///
+/// let t = Trace::new("demo", vec![MemOp::load(LineAddr::new(1), 10)]);
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    name: String,
+    ops: Vec<MemOp>,
+}
+
+impl Trace {
+    /// Wraps recorded operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty (a cursor could never produce anything).
+    pub fn new(name: impl Into<String>, ops: Vec<MemOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must contain at least one op");
+        Trace {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false: construction requires at least one op.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A cyclic cursor starting at `offset` (wrapped into range).
+    pub fn cursor(self, offset: usize) -> TraceCursor {
+        let len = self.ops.len();
+        TraceCursor {
+            trace: self,
+            pos: offset % len,
+        }
+    }
+
+    /// Fraction of writes in the trace.
+    pub fn write_ratio(&self) -> f64 {
+        let w = self.ops.iter().filter(|o| o.is_write).count();
+        w as f64 / self.ops.len() as f64
+    }
+
+    /// Mean instruction gap between accesses.
+    pub fn mean_gap(&self) -> f64 {
+        let g: u64 = self.ops.iter().map(|o| u64::from(o.gap)).sum();
+        g as f64 / self.ops.len() as f64
+    }
+}
+
+/// Cyclic replay of a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceSource for TraceCursor {
+    fn next_op(&mut self) -> MemOp {
+        let op = self.trace.ops[self.pos];
+        self.pos = (self.pos + 1) % self.trace.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops3() -> Vec<MemOp> {
+        vec![
+            MemOp::load(LineAddr::new(1), 5),
+            MemOp::store(LineAddr::new(2), 0),
+            MemOp::dependent_load(LineAddr::new(3), 2),
+        ]
+    }
+
+    #[test]
+    fn cursor_cycles() {
+        let mut c = Trace::new("t", ops3()).cursor(0);
+        let first: Vec<u64> = (0..6).map(|_| c.next_op().line.get()).collect();
+        assert_eq!(first, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cursor_offset_wraps() {
+        let mut c = Trace::new("t", ops3()).cursor(5);
+        assert_eq!(c.next_op().line.get(), 3);
+    }
+
+    #[test]
+    fn ratios() {
+        let t = Trace::new("t", ops3());
+        assert!((t.write_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.mean_gap() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_constructors() {
+        let l = MemOp::dependent_load(LineAddr::new(9), 1);
+        assert!(l.depends_on_prev && !l.is_write);
+        let s = MemOp::store(LineAddr::new(9), 1);
+        assert!(s.is_write && !s.depends_on_prev);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_rejected() {
+        let _ = Trace::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run one benchmark under all four secure-memory schemes and
+//! compare performance — a miniature of the paper's Figure 16.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emcc::prelude::*;
+
+fn main() {
+    let bench = Benchmark::Canneal;
+    let ops_per_core = 50_000;
+    let scale = WorkloadScale::Small;
+
+    println!("EMCC quickstart: {bench} x 4 cores, {ops_per_core} mem-ops/core\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12}",
+        "scheme", "time(us)", "IPC", "L2miss(ns)", "norm. perf"
+    );
+
+    let mut nonsecure_time = None;
+    for scheme in SecurityScheme::all() {
+        let cfg = SystemConfig::table_i(scheme);
+        let sources = bench.build_scaled(1, cfg.cores, scale);
+        let report =
+            SecureSystem::new(cfg).run_with_warmup(sources, ops_per_core / 2, ops_per_core);
+        let t = report.elapsed.as_ns_f64() / 1000.0;
+        let norm = match nonsecure_time {
+            None => {
+                nonsecure_time = Some(t);
+                1.0
+            }
+            Some(ns) => ns / t,
+        };
+        println!(
+            "{:<16} {:>10.1} {:>10.2} {:>12.1} {:>11.1}%",
+            scheme.to_string(),
+            t,
+            report.ipc(),
+            report.l2_miss_latency_ns.mean(),
+            norm * 100.0
+        );
+    }
+
+    println!("\nThe paper's headline: EMCC recovers most of the gap between the");
+    println!("ctr-in-LLC baseline and the non-secure ceiling (≈7% on average).");
+}

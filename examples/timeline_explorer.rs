@@ -1,0 +1,56 @@
+//! Explore the paper's latency-composition timelines (Figs 5/8/10/13/14)
+//! under different parameters — e.g. what happens to EMCC's advantage as
+//! AES gets slower or the NoC gets bigger.
+//!
+//! ```sh
+//! cargo run --example timeline_explorer
+//! ```
+
+use emcc::sim::Time;
+use emcc::system::timeline::{Timeline, TimelineParams, TimelineScenario};
+
+fn main() {
+    let base = TimelineParams::default();
+
+    println!("== Paper defaults ==\n");
+    for (label, sc) in [
+        ("baseline, ctr hit in LLC (Fig 13b)", TimelineScenario::BaselineCtrHitLlc),
+        ("EMCC, ctr hit in LLC (Fig 13a)", TimelineScenario::EmccCtrHitLlc),
+    ] {
+        println!("{label}:");
+        print!("{}", Timeline::compose(sc, &base).render());
+    }
+
+    println!("\n== EMCC advantage vs AES latency (Fig 18's mechanism) ==");
+    for aes_ns in [14u64, 20, 25, 30, 40] {
+        let mut p = base;
+        p.crypto = p.crypto.with_aes(Time::from_ns(aes_ns));
+        let b = Timeline::compose(TimelineScenario::BaselineCtrHitLlc, &p).total;
+        let e = Timeline::compose(TimelineScenario::EmccCtrHitLlc, &p).total;
+        println!(
+            "AES {aes_ns:>2} ns: baseline {:>5.1} ns, EMCC {:>5.1} ns, saving {:>5.1} ns",
+            b.as_ns_f64(),
+            e.as_ns_f64(),
+            (b - e).as_ns_f64()
+        );
+    }
+
+    println!("\n== EMCC advantage vs NoC one-way latency (bigger meshes / chiplets) ==");
+    for noc_ns in [5u64, 7, 10, 15, 20] {
+        let mut p = base;
+        p.noc_one_way = Time::from_ns(noc_ns);
+        // Direct LLC latency = slice SRAM + a NoC round trip, so it grows
+        // with the mesh too.
+        p.direct_llc = Time::from_ns(4) + p.noc_one_way * 2;
+        let b = Timeline::compose(TimelineScenario::BaselineCtrHitLlc, &p).total;
+        let e = Timeline::compose(TimelineScenario::EmccCtrHitLlc, &p).total;
+        println!(
+            "NoC {noc_ns:>2} ns: baseline {:>5.1} ns, EMCC {:>5.1} ns, saving {:>5.1} ns",
+            b.as_ns_f64(),
+            e.as_ns_f64(),
+            (b - e).as_ns_f64()
+        );
+    }
+    println!("\nThe saving grows with both AES latency and NoC latency — the");
+    println!("paper's §III-B prediction that the problem worsens going forward.");
+}

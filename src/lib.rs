@@ -1,0 +1,66 @@
+//! # EMCC — Eager Memory Cryptography in Caches
+//!
+//! A full reproduction of *"Eager Memory Cryptography in Caches"*
+//! (Wang, Kotra, Jian — MICRO 2022) as a cycle-level secure-memory
+//! simulator, built from scratch in Rust.
+//!
+//! Secure memory systems encrypt and integrity-protect every 64 B block
+//! with counter-mode AES; the counters themselves must be fetched and
+//! cached. This crate models the full stack — cores, L1/L2, a sliced LLC
+//! over a mesh NoC, a secure memory controller with a counter cache and
+//! integrity tree, and DDR4 DRAM — and implements the paper's EMCC scheme:
+//! caching and *using* counters directly in L2 so that counter access and
+//! counter-mode AES overlap with the data's journey from DRAM to L2.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — event queue, time, statistics, RNG,
+//! * [`crypto`] — AES-128, counter-mode OTPs, GF(2⁶⁴) MACs,
+//! * [`counters`] — monolithic / SC-64 / Morphable counters + integrity
+//!   tree,
+//! * [`cache`] — set-associative arrays and MSHRs,
+//! * [`noc`] — the Fig 4 mesh and Fig 3 latency model,
+//! * [`dram`] — DDR4 banks, FR-FCFS-capped scheduling, channels,
+//! * [`secmem`] — MC building blocks + a functional secure memory,
+//! * [`system`] — the assembled simulator and the EMCC L2 logic,
+//! * [`workloads`] — synthetic graphBIG / SPEC / PARSEC stand-ins.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use emcc::prelude::*;
+//!
+//! let cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+//! let sources = Benchmark::Canneal.build_scaled(1, 4, WorkloadScale::Test);
+//! let report = SecureSystem::new(cfg).run(sources, 10_000);
+//! println!("{} IPC = {:.3}", report.benchmark, report.ipc());
+//! ```
+
+pub use emcc_cache as cache;
+pub use emcc_counters as counters;
+pub use emcc_crypto as crypto;
+pub use emcc_dram as dram;
+pub use emcc_noc as noc;
+pub use emcc_secmem as secmem;
+pub use emcc_sim as sim;
+pub use emcc_system as system;
+pub use emcc_workloads as workloads;
+
+/// The most common imports for running experiments.
+pub mod prelude {
+    pub use emcc_secmem::SecurityScheme;
+    pub use emcc_sim::Time;
+    pub use emcc_system::{SecureSystem, SimReport, SystemConfig};
+    pub use emcc_workloads::presets::WorkloadScale;
+    pub use emcc_workloads::Benchmark;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let _ = crate::prelude::SystemConfig::table_i(crate::prelude::SecurityScheme::NonSecure);
+        let _ = crate::crypto::Aes128::new([0u8; 16]);
+        let _ = crate::counters::CounterDesign::Morphable;
+    }
+}
