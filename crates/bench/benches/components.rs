@@ -12,12 +12,21 @@ use emcc::counters::MorphFormat;
 use emcc::crypto::{Aes128, BlockCipherKeys, DataBlock};
 use emcc::dram::{Dram, DramConfig, DramRequest, RequestClass};
 use emcc::noc::{Mesh, NocLatency};
-use emcc::sim::{LineAddr, Rng64, Time};
+use emcc::sim::{EventQueue, LineAddr, Rng64, Time};
 
 fn bench_aes(c: &mut Criterion) {
     let aes = Aes128::new([7u8; 16]);
+    // The two paths must agree before their timings mean anything.
+    assert_eq!(
+        aes.encrypt([42u8; 16]),
+        aes.encrypt_reference([42u8; 16]),
+        "T-table and reference AES disagree"
+    );
     c.bench_function("crypto/aes128_block", |b| {
         b.iter(|| aes.encrypt(black_box([42u8; 16])))
+    });
+    c.bench_function("crypto/aes128_block_reference", |b| {
+        b.iter(|| aes.encrypt_reference(black_box([42u8; 16])))
     });
 
     let keys = BlockCipherKeys::from_seed(1);
@@ -47,8 +56,7 @@ fn bench_morphable(c: &mut Criterion) {
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/l2_insert_touch", |b| {
-        let mut cache: SetAssocCache<u8> =
-            SetAssocCache::new(CacheConfig::new(1024 * 1024, 8));
+        let mut cache: SetAssocCache<u8> = SetAssocCache::new(CacheConfig::new(1024 * 1024, 8));
         let mut rng = Rng64::new(3);
         b.iter(|| {
             let a = LineAddr::new(rng.below(1 << 20));
@@ -74,6 +82,25 @@ fn bench_dram(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    // Steady-state churn: push/pop against 10k pending events, the regime
+    // run-loop profiles show (heap always warm, never drained).
+    c.bench_function("sim/event_queue_churn_10k_pending", |b| {
+        let mut q = EventQueue::with_capacity(1 << 14);
+        let mut rng = Rng64::new(11);
+        let mut now = Time::ZERO;
+        for _ in 0..10_000 {
+            q.push(Time::from_ns(rng.below(1 << 20)), 0u64);
+        }
+        b.iter(|| {
+            now += Time::from_ns(1);
+            q.push(now + Time::from_ns(rng.below(1 << 10)), black_box(7u64));
+            let popped = q.pop().expect("queue stays non-empty");
+            black_box(popped)
+        })
+    });
+}
+
 fn bench_noc(c: &mut Criterion) {
     let mesh = Mesh::xeon_w3175x();
     let lat = NocLatency::calibrated();
@@ -92,6 +119,7 @@ criterion_group!(
     bench_morphable,
     bench_cache,
     bench_dram,
+    bench_event_queue,
     bench_noc
 );
 criterion_main!(benches);

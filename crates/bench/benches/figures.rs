@@ -6,10 +6,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use emcc::prelude::*;
 use emcc_bench::experiments;
-use emcc_bench::ExpParams;
+use emcc_bench::{ExpParams, Harness};
 
 fn tiny() -> ExpParams {
     ExpParams::for_scale(WorkloadScale::Test)
+}
+
+/// A cold single-worker harness: every figure iteration simulates from
+/// scratch, so the run-cache can't falsify the timings.
+fn fresh() -> Harness {
+    Harness::with_jobs(tiny(), 1)
 }
 
 /// One full simulation (the unit of work behind every figure).
@@ -29,7 +35,6 @@ fn bench_single_sim(c: &mut Criterion) {
 }
 
 fn bench_figures(c: &mut Criterion) {
-    let p = tiny();
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_secs(1));
@@ -42,22 +47,22 @@ fn bench_figures(c: &mut Criterion) {
     });
     g.sample_size(10);
     g.bench_function("fig02_traffic_overhead", |b| {
-        b.iter(|| experiments::fig02::run(&p))
+        b.iter(|| experiments::fig02::run(&fresh()))
     });
     g.bench_function("fig06_counter_split", |b| {
-        b.iter(|| experiments::fig06_07::run_fig06(&p))
+        b.iter(|| experiments::fig06_07::run_fig06(&fresh()))
     });
     g.bench_function("fig11_12_23_emcc_counters", |b| {
-        b.iter(|| experiments::emcc_ctr::run(&p))
+        b.iter(|| experiments::emcc_ctr::run(&fresh()))
     });
     g.bench_function("fig15_bandwidth_breakdown", |b| {
-        b.iter(|| experiments::fig15::run(&p))
+        b.iter(|| experiments::fig15::run(&fresh()))
     });
     g.bench_function("fig16_17_performance", |b| {
-        b.iter(|| experiments::perf::run_suite(&p))
+        b.iter(|| experiments::perf::run_suite(&fresh()))
     });
     g.bench_function("fig24_regular_suite", |b| {
-        b.iter(|| experiments::fig24::run(&p))
+        b.iter(|| experiments::fig24::run(&fresh()))
     });
     g.finish();
 }

@@ -1,9 +1,14 @@
 //! Runs the DESIGN.md ablations (L2 counter budget, AES wait, XPT) and the
 //! §IV-F extension comparisons (inclusive LLC, dynamic disable).
+use emcc_bench::{experiments::ablations, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::ablations::l2_budget(&p).render());
-    print!("{}", emcc_bench::experiments::ablations::aes_wait(&p).render());
-    print!("{}", emcc_bench::experiments::ablations::xpt(&p).render());
-    print!("{}", emcc_bench::experiments::ablations::extensions(&p).render());
+    let h = Harness::from_env();
+    let mut reqs = ablations::requests();
+    reqs.extend(ablations::extensions_requests());
+    h.execute(&reqs);
+    print!("{}", ablations::l2_budget(&h).render());
+    print!("{}", ablations::aes_wait(&h).render());
+    print!("{}", ablations::xpt(&h).render());
+    print!("{}", ablations::extensions(&h).render());
 }

@@ -7,12 +7,21 @@
 use std::fs;
 use std::path::Path;
 
-use emcc_bench::{experiments, scale_from_env, ExpParams};
+use emcc_bench::{experiments, Harness};
 
 fn main() -> std::io::Result<()> {
-    let p = ExpParams::for_scale(scale_from_env());
+    let h = Harness::from_env();
     let dir = Path::new("figures");
     fs::create_dir_all(dir)?;
+
+    // Schedule every figure's runs up front so overlapping requests
+    // (e.g. CtrInLlc across Figs 2/6/15/16) simulate once.
+    let mut reqs = experiments::fig02::requests();
+    reqs.extend(experiments::fig06_07::fig06_requests());
+    reqs.extend(experiments::emcc_ctr::requests());
+    reqs.extend(experiments::fig15::requests());
+    reqs.extend(experiments::perf::requests());
+    h.execute(&reqs);
 
     let write = |name: &str, csv: String| -> std::io::Result<()> {
         let path = dir.join(name);
@@ -22,15 +31,21 @@ fn main() -> std::io::Result<()> {
     };
 
     write("fig03_llc_latency.csv", experiments::fig03::run().to_csv())?;
-    write("fig02_traffic.csv", experiments::fig02::run(&p).to_csv())?;
-    write("fig06_ctr_split.csv", experiments::fig06_07::run_fig06(&p).to_csv())?;
-    let ec = experiments::emcc_ctr::run(&p);
+    write("fig02_traffic.csv", experiments::fig02::run(&h).to_csv())?;
+    write(
+        "fig06_ctr_split.csv",
+        experiments::fig06_07::run_fig06(&h).to_csv(),
+    )?;
+    let ec = experiments::emcc_ctr::run(&h);
     write("fig11_useless.csv", ec.fig11.to_csv())?;
     write("fig12_ctr_accesses.csv", ec.fig12.to_csv())?;
     write("fig23_invalidations.csv", ec.fig23.to_csv())?;
-    write("fig15_bandwidth.csv", experiments::fig15::run(&p).to_csv())?;
-    let rows = experiments::perf::run_suite(&p);
+    write("fig15_bandwidth.csv", experiments::fig15::run(&h).to_csv())?;
+    let rows = experiments::perf::run_suite(&h);
     write("fig16_perf.csv", experiments::perf::fig16(&rows).to_csv())?;
-    write("fig17_miss_latency.csv", experiments::perf::fig17(&rows).to_csv())?;
+    write(
+        "fig17_miss_latency.csv",
+        experiments::perf::fig17(&rows).to_csv(),
+    )?;
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 2 (DRAM traffic overhead w/o vs w/ counters in LLC).
+use emcc_bench::{experiments::fig02, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig02::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig02::requests());
+    print!("{}", fig02::run(&h).render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 7 (counter hit/miss split, 12 MB/core LLC).
+use emcc_bench::{experiments::fig06_07, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig06_07::run_fig07(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig06_07::fig07_requests());
+    print!("{}", fig06_07::run_fig07(&h).render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 11 (useless counter accesses under EMCC).
+use emcc_bench::{experiments::emcc_ctr, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::emcc_ctr::run(&p).fig11.render());
+    let h = Harness::from_env();
+    h.execute(&emcc_ctr::requests());
+    print!("{}", emcc_ctr::run(&h).fig11.render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 15 (bandwidth utilization breakdown).
+use emcc_bench::{experiments::fig15, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig15::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig15::requests());
+    print!("{}", fig15::run(&h).render());
 }

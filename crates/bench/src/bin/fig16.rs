@@ -1,10 +1,13 @@
 //! Regenerates Figure 16 (normalized performance of SC-64/Morphable/EMCC).
+use emcc_bench::{experiments::perf, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    let rows = emcc_bench::experiments::perf::run_suite(&p);
-    print!("{}", emcc_bench::experiments::perf::fig16(&rows).render());
+    let h = Harness::from_env();
+    h.execute(&perf::requests());
+    let rows = perf::run_suite(&h);
+    print!("{}", perf::fig16(&rows).render());
     println!(
         "headline: EMCC speeds up Morphable by {:.1}% on average (paper: 7%)",
-        emcc_bench::experiments::perf::mean_emcc_speedup(&rows) * 100.0
+        perf::mean_emcc_speedup(&rows) * 100.0
     );
 }

@@ -1,6 +1,9 @@
 //! Regenerates Figure 17 (average L2 miss latency).
+use emcc_bench::{experiments::perf, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    let rows = emcc_bench::experiments::perf::run_suite(&p);
-    print!("{}", emcc_bench::experiments::perf::fig17(&rows).render());
+    let h = Harness::from_env();
+    h.execute(&perf::requests());
+    let rows = perf::run_suite(&h);
+    print!("{}", perf::fig17(&rows).render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 18 (sensitivity to AES latency).
+use emcc_bench::{experiments::fig18, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig18::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig18::requests());
+    print!("{}", fig18::run(&h).render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 19 (DRAM reads decrypted at L2 vs AES split).
+use emcc_bench::{experiments::fig19, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig19::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig19::requests());
+    print!("{}", fig19::run(&h).render());
 }

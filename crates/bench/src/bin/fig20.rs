@@ -1,5 +1,8 @@
 //! Regenerates Figure 20 (sensitivity to MC counter-cache size).
+use emcc_bench::{experiments::fig20, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig20::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig20::requests());
+    print!("{}", fig20::run(&h).render());
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 21 (sensitivity to DRAM channel count).
+use emcc_bench::{experiments::fig21_22, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig21_22::run(&p).fig21.render());
+    let h = Harness::from_env();
+    h.execute(&fig21_22::requests());
+    print!("{}", fig21_22::run(&h).fig21.render());
 }

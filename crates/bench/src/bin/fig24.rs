@@ -1,5 +1,8 @@
 //! Regenerates Figure 24 (useless counter accesses, regular benchmarks).
+use emcc_bench::{experiments::fig24, Harness};
+
 fn main() {
-    let p = emcc_bench::ExpParams::for_scale(emcc_bench::scale_from_env());
-    print!("{}", emcc_bench::experiments::fig24::run(&p).render());
+    let h = Harness::from_env();
+    h.execute(&fig24::requests());
+    print!("{}", fig24::run(&h).render());
 }

@@ -1,49 +1,99 @@
-//! Regenerates every figure in one pass (sharing simulations where
-//! figures overlap) — the data source for EXPERIMENTS.md.
+//! Regenerates every figure in one pass — the data source for
+//! EXPERIMENTS.md.
 //!
 //! ```sh
-//! EMCC_SCALE=small cargo run --release -p emcc-bench --bin run_all
+//! EMCC_SCALE=small EMCC_JOBS=4 cargo run --release -p emcc-bench --bin run_all
 //! ```
+//!
+//! Two phases:
+//!
+//! 1. **Schedule** — every figure declares its run-matrix as
+//!    [`RunRequest`](emcc_bench::RunRequest)s; the union is executed on
+//!    the work-stealing pool (`EMCC_JOBS` workers). Requests shared
+//!    between figures (the Table I schemes dominate) simulate once.
+//! 2. **Render** — figures print serially in the original order from the
+//!    run-cache, so stdout is byte-identical no matter the worker count.
+//!
+//! Wall-clock per section and the cache hit/miss counters are written to
+//! `BENCH_run_all.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use emcc_bench::experiments;
-use emcc_bench::{scale_from_env, ExpParams};
+use emcc_bench::{experiments, Harness};
 
 fn main() {
-    let scale = scale_from_env();
-    let p = ExpParams::for_scale(scale);
+    let h = Harness::from_env();
+    let scale = h.params().scale;
     let t0 = Instant::now();
     println!(
         "EMCC reproduction: regenerating all figures at {scale:?} scale \
          ({} warmup + {} measured mem-ops/core)\n",
-        p.warmup_ops, p.measure_ops
+        h.params().warmup_ops,
+        h.params().measure_ops
+    );
+    eprintln!(
+        "[{:>7.1}s] scheduling all figures on {} worker(s)...",
+        t0.elapsed().as_secs_f64(),
+        h.jobs()
     );
 
-    let section = |name: &str| {
-        eprintln!("[{:>7.1}s] running {name}...", t0.elapsed().as_secs_f64());
+    // Phase 1: collect every figure's run-matrix and execute the union.
+    let mut requests = experiments::fig02::requests();
+    requests.extend(experiments::fig06_07::fig06_requests());
+    requests.extend(experiments::fig06_07::fig07_requests());
+    requests.extend(experiments::emcc_ctr::requests());
+    requests.extend(experiments::fig15::requests());
+    requests.extend(experiments::perf::requests());
+    requests.extend(experiments::fig18::requests());
+    requests.extend(experiments::fig19::requests());
+    requests.extend(experiments::fig20::requests());
+    requests.extend(experiments::fig21_22::requests());
+    requests.extend(experiments::fig24::requests());
+    requests.extend(experiments::ablations::requests());
+    let requested = requests.len();
+    h.execute(&requests);
+    let (sched_hits, sched_misses) = h.cache_stats();
+    let sim_secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[{sim_secs:>7.1}s] simulated {sched_misses} unique runs \
+         ({requested} requested, {sched_hits} shared)"
+    );
+
+    // Phase 2: render serially in the fixed figure order; every run()
+    // below is a cache hit.
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut section_start = Instant::now();
+    let mut section = |name: &'static str, timings: &mut Vec<(&str, f64)>| {
+        if let Some(last) = timings.last_mut() {
+            // Close the previous section (its name was pushed eagerly).
+            last.1 = section_start.elapsed().as_secs_f64();
+        }
+        eprintln!("[{:>7.1}s] rendering {name}...", t0.elapsed().as_secs_f64());
+        timings.push((name, 0.0));
+        section_start = Instant::now();
     };
 
-    section("timelines (Figs 5/8/10/13/14)");
+    section("timelines (Figs 5/8/10/13/14)", &mut timings);
     print!("{}", experiments::timelines::render_all());
     println!();
 
-    section("Fig 3");
+    section("Fig 3", &mut timings);
     print!("{}", experiments::fig03::run().render());
     println!();
 
-    section("Fig 2");
-    print!("{}", experiments::fig02::run(&p).render());
+    section("Fig 2", &mut timings);
+    print!("{}", experiments::fig02::run(&h).render());
     println!();
 
-    section("Figs 6/7");
-    print!("{}", experiments::fig06_07::run_fig06(&p).render());
+    section("Figs 6/7", &mut timings);
+    print!("{}", experiments::fig06_07::run_fig06(&h).render());
     println!();
-    print!("{}", experiments::fig06_07::run_fig07(&p).render());
+    print!("{}", experiments::fig06_07::run_fig07(&h).render());
     println!();
 
-    section("Figs 11/12/23");
-    let ec = experiments::emcc_ctr::run(&p);
+    section("Figs 11/12/23", &mut timings);
+    let ec = experiments::emcc_ctr::run(&h);
     print!("{}", ec.fig11.render());
     println!();
     print!("{}", ec.fig12.render());
@@ -51,12 +101,12 @@ fn main() {
     print!("{}", ec.fig23.render());
     println!();
 
-    section("Fig 15");
-    print!("{}", experiments::fig15::run(&p).render());
+    section("Fig 15", &mut timings);
+    print!("{}", experiments::fig15::run(&h).render());
     println!();
 
-    section("Figs 16/17");
-    let rows = experiments::perf::run_suite(&p);
+    section("Figs 16/17", &mut timings);
+    let rows = experiments::perf::run_suite(&h);
     print!("{}", experiments::perf::fig16(&rows).render());
     println!(
         "headline: EMCC speeds up Morphable by {:.1}% on average (paper: 7%)\n",
@@ -65,35 +115,85 @@ fn main() {
     print!("{}", experiments::perf::fig17(&rows).render());
     println!();
 
-    section("Fig 18");
-    print!("{}", experiments::fig18::run(&p).render());
+    section("Fig 18", &mut timings);
+    print!("{}", experiments::fig18::run(&h).render());
     println!();
 
-    section("Fig 19");
-    print!("{}", experiments::fig19::run(&p).render());
+    section("Fig 19", &mut timings);
+    print!("{}", experiments::fig19::run(&h).render());
     println!();
 
-    section("Fig 20");
-    print!("{}", experiments::fig20::run(&p).render());
+    section("Fig 20", &mut timings);
+    print!("{}", experiments::fig20::run(&h).render());
     println!();
 
-    section("Figs 21/22");
-    let ch = experiments::fig21_22::run(&p);
+    section("Figs 21/22", &mut timings);
+    let ch = experiments::fig21_22::run(&h);
     print!("{}", ch.fig21.render());
     println!();
     print!("{}", ch.fig22.render());
     println!();
 
-    section("Fig 24");
-    print!("{}", experiments::fig24::run(&p).render());
+    section("Fig 24", &mut timings);
+    print!("{}", experiments::fig24::run(&h).render());
     println!();
 
-    section("ablations");
-    print!("{}", experiments::ablations::l2_budget(&p).render());
+    section("ablations", &mut timings);
+    print!("{}", experiments::ablations::l2_budget(&h).render());
     println!();
-    print!("{}", experiments::ablations::aes_wait(&p).render());
+    print!("{}", experiments::ablations::aes_wait(&h).render());
     println!();
-    print!("{}", experiments::ablations::xpt(&p).render());
+    print!("{}", experiments::ablations::xpt(&h).render());
 
-    eprintln!("[{:>7.1}s] done", t0.elapsed().as_secs_f64());
+    if let Some(last) = timings.last_mut() {
+        last.1 = section_start.elapsed().as_secs_f64();
+    }
+
+    let total_secs = t0.elapsed().as_secs_f64();
+    let (hits, misses) = h.cache_stats();
+    let json = bench_json(
+        scale,
+        h.jobs(),
+        requested,
+        sim_secs,
+        total_secs,
+        hits,
+        misses,
+        &timings,
+    );
+    match std::fs::write("BENCH_run_all.json", &json) {
+        Ok(()) => eprintln!("[{total_secs:>7.1}s] wrote BENCH_run_all.json"),
+        Err(e) => eprintln!("[{total_secs:>7.1}s] BENCH_run_all.json: {e}"),
+    }
+    eprintln!("[{total_secs:>7.1}s] done ({misses} simulations, {hits} cache hits)");
+}
+
+/// Hand-rolled JSON (no serde in the tree): timing + cache telemetry.
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    scale: emcc::prelude::WorkloadScale,
+    jobs: usize,
+    requested: usize,
+    sim_secs: f64,
+    total_secs: f64,
+    hits: u64,
+    misses: u64,
+    timings: &[(&str, f64)],
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"requested_runs\": {requested},");
+    let _ = writeln!(s, "  \"unique_runs\": {misses},");
+    let _ = writeln!(s, "  \"cache_hits\": {hits},");
+    let _ = writeln!(s, "  \"cache_misses\": {misses},");
+    let _ = writeln!(s, "  \"simulate_seconds\": {sim_secs:.3},");
+    let _ = writeln!(s, "  \"total_seconds\": {total_secs:.3},");
+    s.push_str("  \"render_seconds\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {secs:.3}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
 }

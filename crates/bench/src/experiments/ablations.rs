@@ -11,7 +11,7 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// Benchmarks used for ablations (a representative subset keeps runtime
 /// manageable; canneal/mcf/BFS bracket the behaviours).
@@ -25,9 +25,70 @@ fn suite() -> Vec<Benchmark> {
     ]
 }
 
+const BUDGET_KB: [u64; 3] = [8, 32, 128];
+
+/// EMCC with an L2 counter budget of `kb` KB.
+fn budget_config(kb: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    cfg.emcc.l2_counter_budget_lines = kb * 1024 / 64;
+    cfg
+}
+
+/// EMCC with AES started immediately (no LLC-hit wait).
+fn immediate_aes_config() -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    cfg.emcc.aes_start_wait = Time::ZERO;
+    cfg
+}
+
+/// `scheme` with XPT toggled.
+fn xpt_config(scheme: SecurityScheme, on: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(scheme);
+    cfg.xpt_enabled = on;
+    cfg
+}
+
+/// Run-matrix for the l2_budget / aes_wait / xpt ablations.
+pub fn requests() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in suite() {
+        // l2_budget: baseline + swept budgets.
+        reqs.push(RunRequest::scheme(bench, SecurityScheme::CtrInLlc));
+        for kb in BUDGET_KB {
+            reqs.push(RunRequest::new(bench, budget_config(kb)));
+        }
+        // aes_wait: default EMCC + immediate start.
+        reqs.push(RunRequest::scheme(bench, SecurityScheme::Emcc));
+        reqs.push(RunRequest::new(bench, immediate_aes_config()));
+        // xpt: both schemes, both settings.
+        for on in [true, false] {
+            reqs.push(RunRequest::new(
+                bench,
+                xpt_config(SecurityScheme::CtrInLlc, on),
+            ));
+            reqs.push(RunRequest::new(bench, xpt_config(SecurityScheme::Emcc, on)));
+        }
+    }
+    reqs
+}
+
+/// Run-matrix for the §IV-F extensions figure.
+pub fn extensions_requests() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in suite() {
+        reqs.push(RunRequest::scheme(bench, SecurityScheme::Emcc));
+        let mut inc = SystemConfig::table_i(SecurityScheme::Emcc);
+        inc.inclusive_llc = true;
+        reqs.push(RunRequest::new(bench, inc));
+        let mut dyn_cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+        dyn_cfg.emcc.dynamic_disable = true;
+        reqs.push(RunRequest::new(bench, dyn_cfg));
+    }
+    reqs
+}
+
 /// Sweep of the L2 counter-line budget.
-pub fn l2_budget(p: &ExpParams) -> FigureData {
-    const BUDGET_KB: [u64; 3] = [8, 32, 128];
+pub fn l2_budget(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Ablation: EMCC benefit vs L2 counter budget".into(),
         cols: BUDGET_KB.iter().map(|k| format!("{k}KB")).collect(),
@@ -36,12 +97,10 @@ pub fn l2_budget(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in suite() {
-        let base = p.run_scheme(bench, SecurityScheme::CtrInLlc);
+        let base = h.run_scheme(bench, SecurityScheme::CtrInLlc);
         let mut row = Vec::new();
         for kb in BUDGET_KB {
-            let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
-            cfg.emcc.l2_counter_budget_lines = kb * 1024 / 64;
-            let emcc = p.run(bench, cfg);
+            let emcc = h.run(bench, budget_config(kb));
             row.push(base.elapsed.as_ns_f64() / emcc.elapsed.as_ns_f64() - 1.0);
         }
         fig.rows.push(bench.name());
@@ -52,7 +111,7 @@ pub fn l2_budget(p: &ExpParams) -> FigureData {
 }
 
 /// Immediate AES start vs the LLC-hit-latency wait.
-pub fn aes_wait(p: &ExpParams) -> FigureData {
+pub fn aes_wait(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Ablation: AES start policy (immediate vs wait-LLC-hit)".into(),
         cols: vec!["perf Δ".into(), "extra AES ops".into()],
@@ -61,10 +120,8 @@ pub fn aes_wait(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in suite() {
-        let wait = p.run_scheme(bench, SecurityScheme::Emcc);
-        let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
-        cfg.emcc.aes_start_wait = Time::ZERO;
-        let imm = p.run(bench, cfg);
+        let wait = h.run_scheme(bench, SecurityScheme::Emcc);
+        let imm = h.run(bench, immediate_aes_config());
         let perf_delta = wait.elapsed.as_ns_f64() / imm.elapsed.as_ns_f64() - 1.0;
         let extra_aes = if wait.decrypted_at_l2 > 0 {
             imm.decrypted_at_l2 as f64 / wait.decrypted_at_l2 as f64 - 1.0
@@ -79,7 +136,7 @@ pub fn aes_wait(p: &ExpParams) -> FigureData {
 }
 
 /// §IV-F extensions: inclusive LLC and dynamic disable.
-pub fn extensions(p: &ExpParams) -> FigureData {
+pub fn extensions(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Extension: inclusive LLC and dynamic disable (vs plain EMCC)".into(),
         cols: vec![
@@ -92,13 +149,13 @@ pub fn extensions(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in suite() {
-        let plain = p.run_scheme(bench, SecurityScheme::Emcc);
+        let plain = h.run_scheme(bench, SecurityScheme::Emcc);
         let mut inc = SystemConfig::table_i(SecurityScheme::Emcc);
         inc.inclusive_llc = true;
-        let inclusive = p.run(bench, inc);
+        let inclusive = h.run(bench, inc);
         let mut dyn_cfg = SystemConfig::table_i(SecurityScheme::Emcc);
         dyn_cfg.emcc.dynamic_disable = true;
-        let dynamic = p.run(bench, dyn_cfg);
+        let dynamic = h.run(bench, dyn_cfg);
         let unverified_frac = if inclusive.dram_data_reads > 0 {
             inclusive.llc_unverified_inserts as f64 / inclusive.dram_data_reads as f64
         } else {
@@ -116,7 +173,7 @@ pub fn extensions(p: &ExpParams) -> FigureData {
 }
 
 /// XPT on/off for both schemes.
-pub fn xpt(p: &ExpParams) -> FigureData {
+pub fn xpt(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Ablation: EMCC benefit with and without XPT".into(),
         cols: vec!["XPT on".into(), "XPT off".into()],
@@ -127,12 +184,8 @@ pub fn xpt(p: &ExpParams) -> FigureData {
     for bench in suite() {
         let mut row = Vec::new();
         for xpt_on in [true, false] {
-            let mut b = SystemConfig::table_i(SecurityScheme::CtrInLlc);
-            b.xpt_enabled = xpt_on;
-            let mut e = SystemConfig::table_i(SecurityScheme::Emcc);
-            e.xpt_enabled = xpt_on;
-            let base = p.run(bench, b);
-            let emcc = p.run(bench, e);
+            let base = h.run(bench, xpt_config(SecurityScheme::CtrInLlc, xpt_on));
+            let emcc = h.run(bench, xpt_config(SecurityScheme::Emcc, xpt_on));
             row.push(base.elapsed.as_ns_f64() / emcc.elapsed.as_ns_f64() - 1.0);
         }
         fig.rows.push(bench.name());

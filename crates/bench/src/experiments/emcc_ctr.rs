@@ -11,7 +11,7 @@
 use emcc::prelude::*;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// All three figures from one pass (EMCC + baseline runs per benchmark).
 pub struct EmccCtrFigures {
@@ -23,8 +23,21 @@ pub struct EmccCtrFigures {
     pub fig23: FigureData,
 }
 
+/// The figures' run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .flat_map(|bench| {
+            [
+                RunRequest::scheme(bench, SecurityScheme::Emcc),
+                RunRequest::scheme(bench, SecurityScheme::CtrInLlc),
+            ]
+        })
+        .collect()
+}
+
 /// Runs the three figures.
-pub fn run(p: &ExpParams) -> EmccCtrFigures {
+pub fn run(h: &Harness) -> EmccCtrFigures {
     let mut fig11 = FigureData {
         title: "Figure 11: useless counter accesses to LLC under EMCC".into(),
         cols: vec!["useless".into()],
@@ -48,17 +61,16 @@ pub fn run(p: &ExpParams) -> EmccCtrFigures {
     };
 
     for bench in Benchmark::irregular_suite() {
-        let emcc = p.run_scheme(bench, SecurityScheme::Emcc);
-        let base = p.run_scheme(bench, SecurityScheme::CtrInLlc);
+        let emcc = h.run_scheme(bench, SecurityScheme::Emcc);
+        let base = h.run_scheme(bench, SecurityScheme::CtrInLlc);
 
         fig11.rows.push(bench.name());
         fig11.values.push(vec![emcc.useless_ctr_frac()]);
 
         fig12.rows.push(bench.name());
-        fig12.values.push(vec![
-            base.ctr_llc_access_frac(),
-            emcc.ctr_llc_access_frac(),
-        ]);
+        fig12
+            .values
+            .push(vec![base.ctr_llc_access_frac(), emcc.ctr_llc_access_frac()]);
 
         fig23.rows.push(bench.name());
         fig23.values.push(vec![emcc.ctr_invalidation_frac()]);

@@ -9,7 +9,7 @@ use emcc::dram::RequestClass;
 use emcc::prelude::*;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// Traffic overhead for one report: (read overhead, write overhead).
 fn overhead(r: &SimReport) -> (f64, f64) {
@@ -37,8 +37,21 @@ fn overhead(r: &SimReport) -> (f64, f64) {
     (meta_read as f64 / data, meta_write as f64 / data)
 }
 
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .flat_map(|bench| {
+            [
+                RunRequest::scheme(bench, SecurityScheme::McOnly),
+                RunRequest::scheme(bench, SecurityScheme::CtrInLlc),
+            ]
+        })
+        .collect()
+}
+
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 2: DRAM traffic overhead normalized to data traffic".into(),
         cols: vec![
@@ -54,10 +67,10 @@ pub fn run(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in Benchmark::irregular_suite() {
-        let without = p.run_scheme(bench, SecurityScheme::McOnly);
-        let with = p.run_scheme(bench, SecurityScheme::CtrInLlc);
-        let (wor, wow) = overhead(&without);
-        let (wr, ww) = overhead(&with);
+        let without = h.run_scheme(bench, SecurityScheme::McOnly);
+        let with = h.run_scheme(bench, SecurityScheme::CtrInLlc);
+        let (wor, wow) = overhead(without);
+        let (wr, ww) = overhead(with);
         fig.rows.push(bench.name());
         fig.values.push(vec![wor, wow, wr, ww, wor + wow, wr + ww]);
     }

@@ -23,10 +23,7 @@ pub fn llc_hit_histogram() -> Histogram {
     for core in 0..mesh.num_cores() {
         for slice in 0..mesh.num_cores() {
             let hops = mesh.hops_core_to_core(core, slice);
-            let total = L2_TAG
-                + noc.one_way(hops, false)
-                + SLICE_SRAM
-                + noc.one_way(hops, true);
+            let total = L2_TAG + noc.one_way(hops, false) + SLICE_SRAM + noc.one_way(hops, true);
             h.add_time(total);
         }
     }

@@ -8,9 +8,24 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
-fn counter_split(p: &ExpParams, llc_total: Option<u64>, title: &str, note: &str) -> FigureData {
+fn config(llc_total: Option<u64>) -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(SecurityScheme::CtrInLlc);
+    if let Some(total) = llc_total {
+        cfg = cfg.with_llc_total(total);
+    }
+    cfg
+}
+
+fn matrix(llc_total: Option<u64>) -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .map(|bench| RunRequest::new(bench, config(llc_total)))
+        .collect()
+}
+
+fn counter_split(h: &Harness, llc_total: Option<u64>, title: &str, note: &str) -> FigureData {
     let mut fig = FigureData {
         title: title.into(),
         cols: vec!["MC-hit".into(), "LLC-hit".into(), "LLC-miss".into()],
@@ -19,11 +34,7 @@ fn counter_split(p: &ExpParams, llc_total: Option<u64>, title: &str, note: &str)
         ..FigureData::default()
     };
     for bench in Benchmark::irregular_suite() {
-        let mut cfg = SystemConfig::table_i(SecurityScheme::CtrInLlc);
-        if let Some(total) = llc_total {
-            cfg = cfg.with_llc_total(total);
-        }
-        let r = p.run(bench, cfg);
+        let r = h.run(bench, config(llc_total));
         fig.rows.push(bench.name());
         fig.values.push(vec![
             r.ctr_mc_hit_frac(),
@@ -35,10 +46,20 @@ fn counter_split(p: &ExpParams, llc_total: Option<u64>, title: &str, note: &str)
     fig
 }
 
+/// Figure 6's run-matrix (Table I LLC).
+pub fn fig06_requests() -> Vec<RunRequest> {
+    matrix(None)
+}
+
+/// Figure 7's run-matrix (48 MB LLC).
+pub fn fig07_requests() -> Vec<RunRequest> {
+    matrix(Some(48 * 1024 * 1024))
+}
+
 /// Figure 6: Table I LLC (2 MB/core).
-pub fn run_fig06(p: &ExpParams) -> FigureData {
+pub fn run_fig06(h: &Harness) -> FigureData {
     counter_split(
-        p,
+        h,
         None,
         "Figure 6: counter hit/miss split for DRAM data reads (2 MB/core LLC)",
         "65% MC hit / 15% LLC hit / 19% LLC miss on average",
@@ -46,9 +67,9 @@ pub fn run_fig06(p: &ExpParams) -> FigureData {
 }
 
 /// Figure 7: 12 MB/core LLC (48 MB total).
-pub fn run_fig07(p: &ExpParams) -> FigureData {
+pub fn run_fig07(h: &Harness) -> FigureData {
     counter_split(
-        p,
+        h,
         Some(48 * 1024 * 1024),
         "Figure 7: counter hit/miss split for DRAM data reads (12 MB/core LLC)",
         "67% MC hit / 18% LLC hit / 14% LLC miss on average",

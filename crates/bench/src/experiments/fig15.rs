@@ -8,10 +8,18 @@ use emcc::dram::RequestClass;
 use emcc::prelude::*;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
+
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .map(|bench| RunRequest::scheme(bench, SecurityScheme::CtrInLlc))
+        .collect()
+}
 
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 15: bandwidth utilization by class (Morphable)".into(),
         cols: vec![
@@ -26,7 +34,7 @@ pub fn run(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in Benchmark::irregular_suite() {
-        let r = p.run_scheme(bench, SecurityScheme::CtrInLlc);
+        let r = h.run_scheme(bench, SecurityScheme::CtrInLlc);
         let ch = r.dram.total_requests().max(1); // avoid div-by-zero style
         let _ = ch;
         let channels = 1;
@@ -36,7 +44,8 @@ pub fn run(p: &ExpParams) -> FigureData {
         let o0 = r.bandwidth_utilization(RequestClass::OverflowL0, channels);
         let o1 = r.bandwidth_utilization(RequestClass::OverflowHigher, channels);
         fig.rows.push(bench.name());
-        fig.values.push(vec![data, ctr, o0, o1, data + ctr + o0 + o1]);
+        fig.values
+            .push(vec![data, ctr, o0, o1, data + ctr + o0 + o1]);
     }
     fig.push_mean_row();
     fig

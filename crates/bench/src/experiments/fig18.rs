@@ -8,13 +8,30 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// The swept AES latencies in nanoseconds.
 pub const AES_POINTS: [u64; 3] = [14, 20, 25];
 
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in Benchmark::irregular_suite() {
+        for ns in AES_POINTS {
+            let aes = Time::from_ns(ns);
+            for scheme in [SecurityScheme::CtrInLlc, SecurityScheme::Emcc] {
+                reqs.push(RunRequest::new(
+                    bench,
+                    SystemConfig::table_i(scheme).with_aes_latency(aes),
+                ));
+            }
+        }
+    }
+    reqs
+}
+
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 18: EMCC benefit over Morphable vs AES latency".into(),
         cols: AES_POINTS.iter().map(|ns| format!("{ns}ns AES")).collect(),
@@ -26,11 +43,11 @@ pub fn run(p: &ExpParams) -> FigureData {
         let mut row = Vec::new();
         for ns in AES_POINTS {
             let aes = Time::from_ns(ns);
-            let base = p.run(
+            let base = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::CtrInLlc).with_aes_latency(aes),
             );
-            let emcc = p.run(
+            let emcc = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::Emcc).with_aes_latency(aes),
             );

@@ -9,13 +9,28 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// The swept AES-unit fractions.
 pub const FRACTIONS: [f64; 4] = [0.2, 0.4, 0.5, 0.8];
 
+/// Config for one sweep point.
+fn config(f: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    cfg.emcc.aes_fraction_to_l2 = f;
+    cfg
+}
+
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .flat_map(|bench| FRACTIONS.map(|f| RunRequest::new(bench, config(f))))
+        .collect()
+}
+
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 19: DRAM data reads decrypted at L2 vs AES split".into(),
         cols: FRACTIONS
@@ -29,9 +44,7 @@ pub fn run(p: &ExpParams) -> FigureData {
     for bench in Benchmark::irregular_suite() {
         let mut row = Vec::new();
         for f in FRACTIONS {
-            let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc);
-            cfg.emcc.aes_fraction_to_l2 = f;
-            let r = p.run(bench, cfg);
+            let r = h.run(bench, config(f));
             row.push(r.l2_decrypt_frac());
         }
         fig.rows.push(bench.name());

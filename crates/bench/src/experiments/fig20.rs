@@ -8,13 +8,30 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// The swept MC counter-cache sizes in KB.
 pub const SIZES_KB: [u64; 3] = [128, 256, 512];
 
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in Benchmark::irregular_suite() {
+        for kb in SIZES_KB {
+            let bytes = kb * 1024;
+            for scheme in [SecurityScheme::CtrInLlc, SecurityScheme::Emcc] {
+                reqs.push(RunRequest::new(
+                    bench,
+                    SystemConfig::table_i(scheme).with_mc_cache_size(bytes),
+                ));
+            }
+        }
+    }
+    reqs
+}
+
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 20: EMCC benefit vs MC counter-cache size".into(),
         cols: SIZES_KB.iter().map(|k| format!("{k}KB")).collect(),
@@ -26,11 +43,11 @@ pub fn run(p: &ExpParams) -> FigureData {
         let mut row = Vec::new();
         for kb in SIZES_KB {
             let bytes = kb * 1024;
-            let base = p.run(
+            let base = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::CtrInLlc).with_mc_cache_size(bytes),
             );
-            let emcc = p.run(
+            let emcc = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::Emcc).with_mc_cache_size(bytes),
             );

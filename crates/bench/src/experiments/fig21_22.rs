@@ -13,7 +13,7 @@ use emcc::sim::stats::geomean;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
 /// Both figures from one sweep.
 pub struct ChannelFigures {
@@ -23,8 +23,24 @@ pub struct ChannelFigures {
     pub fig22: FigureData,
 }
 
+/// The figures' run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for bench in Benchmark::irregular_suite() {
+        for channels in [1usize, 8] {
+            for scheme in [SecurityScheme::CtrInLlc, SecurityScheme::Emcc] {
+                reqs.push(RunRequest::new(
+                    bench,
+                    SystemConfig::table_i(scheme).with_channels(channels),
+                ));
+            }
+        }
+    }
+    reqs
+}
+
 /// Runs the sweep.
-pub fn run(p: &ExpParams) -> ChannelFigures {
+pub fn run(h: &Harness) -> ChannelFigures {
     let mut fig21 = FigureData {
         title: "Figure 21: EMCC benefit under 1 vs 8 memory channels".into(),
         cols: vec!["1 channel".into(), "8 channels".into()],
@@ -45,11 +61,11 @@ pub fn run(p: &ExpParams) -> ChannelFigures {
     for bench in Benchmark::irregular_suite() {
         let mut row = Vec::new();
         for (ci, channels) in [1usize, 8].into_iter().enumerate() {
-            let base = p.run(
+            let base = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::CtrInLlc).with_channels(channels),
             );
-            let emcc = p.run(
+            let emcc = h.run(
                 bench,
                 SystemConfig::table_i(SecurityScheme::Emcc).with_channels(channels),
             );

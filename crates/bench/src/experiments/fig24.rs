@@ -5,10 +5,18 @@
 use emcc::prelude::*;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
+
+/// The figure's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::regular_suite()
+        .into_iter()
+        .map(|bench| RunRequest::scheme(bench, SecurityScheme::Emcc))
+        .collect()
+}
 
 /// Runs the figure.
-pub fn run(p: &ExpParams) -> FigureData {
+pub fn run(h: &Harness) -> FigureData {
     let mut fig = FigureData {
         title: "Figure 24: useless counter accesses, regular SPEC/PARSEC".into(),
         cols: vec!["useless".into()],
@@ -17,7 +25,7 @@ pub fn run(p: &ExpParams) -> FigureData {
         ..FigureData::default()
     };
     for bench in Benchmark::regular_suite() {
-        let r = p.run_scheme(bench, SecurityScheme::Emcc);
+        let r = h.run_scheme(bench, SecurityScheme::Emcc);
         fig.rows.push(bench.name());
         fig.values.push(vec![r.useless_ctr_frac()]);
     }

@@ -9,36 +9,54 @@ use emcc::prelude::*;
 use emcc::system::SystemConfig;
 
 use crate::experiments::FigureData;
-use crate::ExpParams;
+use crate::{Harness, RunRequest};
 
-/// One benchmark's four reports.
+/// One benchmark's four reports (served from the harness's run-cache).
 pub struct PerfRow {
     /// Benchmark name.
     pub name: String,
     /// Non-secure ceiling.
-    pub nonsecure: SimReport,
+    pub nonsecure: &'static SimReport,
     /// SC-64 baseline (counters in LLC).
-    pub sc64: SimReport,
+    pub sc64: &'static SimReport,
     /// Morphable baseline (counters in LLC).
-    pub morphable: SimReport,
+    pub morphable: &'static SimReport,
     /// EMCC on top of Morphable.
-    pub emcc: SimReport,
+    pub emcc: &'static SimReport,
+}
+
+/// The SC-64 configuration (counters in LLC, split-counter-64 design).
+fn sc64_config() -> SystemConfig {
+    let mut cfg = SystemConfig::table_i(SecurityScheme::CtrInLlc);
+    cfg.counter_design = CounterDesign::Sc64;
+    cfg
+}
+
+/// The suite's run-matrix, for batch scheduling.
+pub fn requests() -> Vec<RunRequest> {
+    Benchmark::irregular_suite()
+        .into_iter()
+        .flat_map(|bench| {
+            [
+                RunRequest::scheme(bench, SecurityScheme::NonSecure),
+                RunRequest::new(bench, sc64_config()),
+                RunRequest::scheme(bench, SecurityScheme::CtrInLlc),
+                RunRequest::scheme(bench, SecurityScheme::Emcc),
+            ]
+        })
+        .collect()
 }
 
 /// Runs the four schemes over the irregular suite.
-pub fn run_suite(p: &ExpParams) -> Vec<PerfRow> {
+pub fn run_suite(h: &Harness) -> Vec<PerfRow> {
     Benchmark::irregular_suite()
         .into_iter()
-        .map(|bench| {
-            let mut sc64_cfg = SystemConfig::table_i(SecurityScheme::CtrInLlc);
-            sc64_cfg.counter_design = CounterDesign::Sc64;
-            PerfRow {
-                name: bench.name(),
-                nonsecure: p.run_scheme(bench, SecurityScheme::NonSecure),
-                sc64: p.run(bench, sc64_cfg),
-                morphable: p.run_scheme(bench, SecurityScheme::CtrInLlc),
-                emcc: p.run_scheme(bench, SecurityScheme::Emcc),
-            }
+        .map(|bench| PerfRow {
+            name: bench.name(),
+            nonsecure: h.run_scheme(bench, SecurityScheme::NonSecure),
+            sc64: h.run(bench, sc64_config()),
+            morphable: h.run_scheme(bench, SecurityScheme::CtrInLlc),
+            emcc: h.run_scheme(bench, SecurityScheme::Emcc),
         })
         .collect()
 }

@@ -67,8 +67,7 @@ pub fn render_all() -> String {
     ));
     out.push_str(&format!(
         "Fig 14 delta (EMCC vs baseline, XPT + row miss): {:.1} ns (paper: 22 ns)\n",
-        (t(TimelineScenario::BaselineXptRowMiss) - t(TimelineScenario::EmccXptRowMiss))
-            .as_ns_f64()
+        (t(TimelineScenario::BaselineXptRowMiss) - t(TimelineScenario::EmccXptRowMiss)).as_ns_f64()
     ));
     out
 }

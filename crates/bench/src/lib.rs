@@ -14,6 +14,8 @@
 //! counts and takes tens of minutes for the full suite.
 
 pub mod experiments;
+pub mod pool;
 pub mod runner;
 
-pub use runner::{scale_from_env, ExpParams};
+pub use pool::{jobs_from_env, RunCache, RunRequest};
+pub use runner::{scale_from_env, ExpParams, Harness};

@@ -3,8 +3,10 @@
 use emcc::prelude::*;
 use emcc::system::SystemConfig as Cfg;
 
+use crate::pool::{jobs_from_env, run_indexed, RunCache, RunRequest};
+
 /// Per-run parameters derived from the chosen scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExpParams {
     /// Workload synthesis scale.
     pub scale: WorkloadScale,
@@ -32,15 +34,109 @@ impl ExpParams {
         }
     }
 
-    /// Runs one benchmark under a configuration.
+    /// Runs one benchmark under a configuration (uncached; prefer
+    /// [`Harness::run`] inside experiments so identical runs are shared).
     pub fn run(&self, bench: Benchmark, cfg: Cfg) -> SimReport {
         let sources = bench.build_scaled(self.seed, cfg.cores, self.scale);
-        SecureSystem::new(cfg)
-            .run_with_warmup(sources, self.warmup_ops, self.measure_ops)
+        SecureSystem::new(cfg).run_with_warmup(sources, self.warmup_ops, self.measure_ops)
     }
 
     /// Runs one benchmark under a scheme with the Table I configuration.
     pub fn run_scheme(&self, bench: Benchmark, scheme: SecurityScheme) -> SimReport {
+        self.run(bench, Cfg::table_i(scheme))
+    }
+}
+
+/// The experiment-execution harness: one [`ExpParams`], a memoizing
+/// [`RunCache`] and a thread budget.
+///
+/// Experiments declare their run-matrix as [`RunRequest`]s; the harness
+/// [`execute`](Harness::execute)s a batch on the work-stealing pool and
+/// then serves figure-rendering code from the cache. Every simulation is
+/// a pure function of `(benchmark, config, params)`, so runs shared
+/// between figures execute once. Rendering order — and therefore stdout
+/// — is identical no matter how many workers execute the batch.
+pub struct Harness {
+    params: ExpParams,
+    jobs: usize,
+    cache: RunCache,
+}
+
+impl Harness {
+    /// A harness with `EMCC_JOBS` workers (default: available
+    /// parallelism).
+    pub fn new(params: ExpParams) -> Self {
+        Harness::with_jobs(params, jobs_from_env())
+    }
+
+    /// A harness with an explicit worker count.
+    pub fn with_jobs(params: ExpParams, jobs: usize) -> Self {
+        Harness {
+            params,
+            jobs: jobs.max(1),
+            cache: RunCache::new(),
+        }
+    }
+
+    /// A harness configured from `EMCC_SCALE` and `EMCC_JOBS`.
+    pub fn from_env() -> Self {
+        Harness::new(ExpParams::for_scale(scale_from_env()))
+    }
+
+    /// The run parameters.
+    pub fn params(&self) -> &ExpParams {
+        &self.params
+    }
+
+    /// Worker-thread budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// `(hits, misses)` of the run-cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Executes a batch of requests on the pool, memoizing every result.
+    ///
+    /// Duplicate requests — within the batch or against earlier batches —
+    /// count as cache hits and are simulated only once.
+    pub fn execute(&self, requests: &[RunRequest]) {
+        let mut fresh: Vec<&RunRequest> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut hits = 0u64;
+        for req in requests {
+            if self.cache.probe(req, &self.params).is_some() || !seen.insert(req) {
+                hits += 1;
+            } else {
+                fresh.push(req);
+            }
+        }
+        self.cache.note_hits(hits);
+        self.cache.note_misses(fresh.len() as u64);
+
+        let params = self.params;
+        let reports = run_indexed(fresh.len(), self.jobs, |i| {
+            params.run(fresh[i].bench, fresh[i].cfg.clone())
+        });
+        for (req, report) in fresh.into_iter().zip(reports) {
+            self.cache.insert(req.clone(), params, report);
+        }
+    }
+
+    /// The report for `bench` under `cfg`, from cache or computed now.
+    pub fn run(&self, bench: Benchmark, cfg: Cfg) -> &'static SimReport {
+        let req = RunRequest::new(bench, cfg);
+        if let Some(r) = self.cache.lookup(&req, &self.params) {
+            return r;
+        }
+        let report = self.params.run(req.bench, req.cfg.clone());
+        self.cache.insert(req, self.params, report)
+    }
+
+    /// The report for `bench` under the Table I configuration of `scheme`.
+    pub fn run_scheme(&self, bench: Benchmark, scheme: SecurityScheme) -> &'static SimReport {
         self.run(bench, Cfg::table_i(scheme))
     }
 }
@@ -51,11 +147,22 @@ impl ExpParams {
 ///
 /// Panics on an unrecognized value.
 pub fn scale_from_env() -> WorkloadScale {
-    match std::env::var("EMCC_SCALE").as_deref() {
-        Ok("test") => WorkloadScale::Test,
-        Ok("paper") => WorkloadScale::Paper,
-        Ok("small") | Err(_) => WorkloadScale::Small,
-        Ok(other) => panic!("unknown EMCC_SCALE {other:?} (use test|small|paper)"),
+    scale_from_lookup(|k| std::env::var(k).ok())
+}
+
+/// [`scale_from_env`] with an injected environment lookup — tests pass a
+/// closure instead of mutating the process environment, which is racy
+/// under the parallel test harness.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value.
+pub fn scale_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> WorkloadScale {
+    match lookup("EMCC_SCALE").as_deref() {
+        Some("test") => WorkloadScale::Test,
+        Some("paper") => WorkloadScale::Paper,
+        Some("small") | None => WorkloadScale::Small,
+        Some(other) => panic!("unknown EMCC_SCALE {other:?} (use test|small|paper)"),
     }
 }
 
@@ -111,8 +218,69 @@ mod tests {
     }
 
     #[test]
-    fn env_default_is_small() {
-        std::env::remove_var("EMCC_SCALE");
-        assert_eq!(scale_from_env(), WorkloadScale::Small);
+    fn scale_lookup_default_is_small() {
+        // Injected lookup: no process-environment mutation (racy under
+        // the parallel test harness).
+        assert_eq!(scale_from_lookup(|_| None), WorkloadScale::Small);
+        assert_eq!(
+            scale_from_lookup(|_| Some("test".into())),
+            WorkloadScale::Test
+        );
+        assert_eq!(
+            scale_from_lookup(|_| Some("paper".into())),
+            WorkloadScale::Paper
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown EMCC_SCALE")]
+    fn scale_lookup_rejects_garbage() {
+        scale_from_lookup(|_| Some("huge".into()));
+    }
+
+    #[test]
+    fn harness_memoizes_identical_runs() {
+        let h = Harness::with_jobs(ExpParams::for_scale(WorkloadScale::Test), 2);
+        let a = h.run_scheme(Benchmark::Mcf, SecurityScheme::NonSecure);
+        let b = h.run_scheme(Benchmark::Mcf, SecurityScheme::NonSecure);
+        assert!(std::ptr::eq(a, b), "second run must be served from cache");
+        let (hits, misses) = h.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn harness_execute_dedups_batch() {
+        let h = Harness::with_jobs(ExpParams::for_scale(WorkloadScale::Test), 2);
+        let req = crate::pool::RunRequest::scheme(Benchmark::Mcf, SecurityScheme::NonSecure);
+        h.execute(&[req.clone(), req.clone(), req]);
+        let (hits, misses) = h.cache_stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn parallel_and_serial_reports_are_identical() {
+        let p = ExpParams::for_scale(WorkloadScale::Test);
+        let serial = Harness::with_jobs(p, 1);
+        let parallel = Harness::with_jobs(p, 4);
+        let reqs: Vec<_> = [
+            SecurityScheme::NonSecure,
+            SecurityScheme::CtrInLlc,
+            SecurityScheme::Emcc,
+        ]
+        .into_iter()
+        .map(|s| crate::pool::RunRequest::scheme(Benchmark::Canneal, s))
+        .collect();
+        parallel.execute(&reqs);
+        for req in &reqs {
+            let a = serial.run(req.bench, req.cfg.clone());
+            let b = parallel.run(req.bench, req.cfg.clone());
+            assert_eq!(
+                a.elapsed, b.elapsed,
+                "determinism broken for {:?}",
+                req.bench
+            );
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.ctr_source, b.ctr_source);
+        }
     }
 }

@@ -30,9 +30,15 @@ impl CacheConfig {
     pub fn new(size_bytes: u64, ways: u32) -> Self {
         assert!(ways > 0, "need at least one way");
         let lines = size_bytes / emcc_sim::mem::LINE_BYTES;
-        assert!(lines > 0 && lines.is_multiple_of(u64::from(ways)), "size/ways mismatch");
+        assert!(
+            lines > 0 && lines.is_multiple_of(u64::from(ways)),
+            "size/ways mismatch"
+        );
         let sets = lines / u64::from(ways);
-        assert!(sets.is_power_of_two(), "sets must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "sets must be a power of two, got {sets}"
+        );
         CacheConfig { size_bytes, ways }
     }
 
@@ -357,16 +363,11 @@ mod tests {
         c.insert(LineAddr::new(1), false, 10); // set 1, oldest matching
         c.insert(LineAddr::new(2), false, 20); // set 2
         c.insert(LineAddr::new(6), false, 10); // set 2
+
         // Coldest line with meta == 10 is addr 1.
-        assert_eq!(
-            c.lru_matching(|_, &m| m == 10),
-            Some(LineAddr::new(1))
-        );
+        assert_eq!(c.lru_matching(|_, &m| m == 10), Some(LineAddr::new(1)));
         c.touch(LineAddr::new(1));
-        assert_eq!(
-            c.lru_matching(|_, &m| m == 10),
-            Some(LineAddr::new(6))
-        );
+        assert_eq!(c.lru_matching(|_, &m| m == 10), Some(LineAddr::new(6)));
         assert_eq!(c.lru_matching(|_, &m| m == 99), None);
     }
 

@@ -41,6 +41,35 @@ pub struct EmccConfig {
     pub intensity_window: u64,
 }
 
+// Configurations serve as memoization keys for experiment run-caches.
+// `aes_fraction_to_l2` is the only non-integral field; it is always a
+// finite literal from a sweep (never NaN), so bitwise equality/hashing is
+// exact and `Eq` is sound.
+impl Eq for EmccConfig {}
+
+impl std::hash::Hash for EmccConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let EmccConfig {
+            l2_counter_budget_lines,
+            aes_fraction_to_l2,
+            ctr_lookup_delay,
+            aes_start_wait,
+            offload_threshold,
+            dynamic_disable,
+            intensity_threshold_per_mille,
+            intensity_window,
+        } = self;
+        l2_counter_budget_lines.hash(state);
+        aes_fraction_to_l2.to_bits().hash(state);
+        ctr_lookup_delay.hash(state);
+        aes_start_wait.hash(state);
+        offload_threshold.hash(state);
+        dynamic_disable.hash(state);
+        intensity_threshold_per_mille.hash(state);
+        intensity_window.hash(state);
+    }
+}
+
 impl Default for EmccConfig {
     fn default() -> Self {
         EmccConfig {
@@ -71,7 +100,7 @@ impl Default for EmccConfig {
 /// assert_eq!(c.l2_size, 1024 * 1024);
 /// assert_eq!(c.llc_total_size(), 8 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Number of cores (Table I: 4).
     pub cores: usize,
@@ -282,6 +311,21 @@ mod tests {
         assert_eq!(c.mc_cache_size, 512 * 1024);
         assert_eq!(c.dram.channels, 8);
         assert_eq!(c.llc_total_size(), 48 * 1024 * 1024);
+    }
+
+    #[test]
+    fn config_is_a_usable_map_key() {
+        use std::collections::HashMap;
+        let a = SystemConfig::table_i(SecurityScheme::Emcc);
+        let b = SystemConfig::table_i(SecurityScheme::Emcc);
+        let mut c = SystemConfig::table_i(SecurityScheme::Emcc);
+        c.emcc.aes_fraction_to_l2 = 0.8;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut m = HashMap::new();
+        m.insert(a, 1);
+        assert_eq!(m.get(&b), Some(&1));
+        assert_eq!(m.get(&c), None);
     }
 
     #[test]

@@ -177,7 +177,12 @@ impl SecureSystem {
         // the response still flows through the normal path).
         if !dram_issued {
             self.txns.get_mut(&txn_id).expect("txn exists").dram_issued = true;
-            self.enqueue_dram(line, false, RequestClass::Data, DramTarget::DataRead(txn_id));
+            self.enqueue_dram(
+                line,
+                false,
+                RequestClass::Data,
+                DramTarget::DataRead(txn_id),
+            );
         }
         if via_xpt || already_at_mc {
             return;
@@ -254,7 +259,10 @@ impl SecureSystem {
         } else {
             // EMCC: ship ciphertext + MAC⊕dot (the GF dot product is
             // parallel and fast — charge the same small constant).
-            (data_at.max(self.now) + self.cfg.crypto.xor_and_compare, false)
+            (
+                data_at.max(self.now) + self.cfg.crypto.xor_and_compare,
+                false,
+            )
         };
 
         let core = txn.core;
@@ -271,9 +279,14 @@ impl SecureSystem {
         // Inclusive mode mirrors the fill into the slice it passes.
         self.inclusive_fill(line, verified);
         let slice = self.slice_of(line);
-        let t =
-            ship_at + self.noc_slice_mc(slice, true) + self.noc_l2_slice(core, slice, true);
-        self.queue.push(t, Ev::L2Fill { txn: txn_id, verified });
+        let t = ship_at + self.noc_slice_mc(slice, true) + self.noc_l2_slice(core, slice, true);
+        self.queue.push(
+            t,
+            Ev::L2Fill {
+                txn: txn_id,
+                verified,
+            },
+        );
         // Mark shipped so duplicate calls do nothing.
         let txn = self.txns.get_mut(&txn_id).expect("txn exists");
         txn.mc_data_at = None;
@@ -356,8 +369,12 @@ impl SecureSystem {
             } else {
                 RequestClass::TreeNode
             };
-            if !self.enqueue_dram(node, false, class, DramTarget::NodeFetch { ctr_block: block })
-            {
+            if !self.enqueue_dram(
+                node,
+                false,
+                class,
+                DramTarget::NodeFetch { ctr_block: block },
+            ) {
                 // Queue full: model as a short retry by completing later.
                 let ctr = self.mc.ctr_txns.get_mut(&block).expect("ctr txn exists");
                 ctr.pending_fetches -= 1;
@@ -544,9 +561,7 @@ impl SecureSystem {
 
     fn ctr_reply_to_l2(&mut self, block: LineAddr, core: usize, ship_at: Time) {
         let slice = self.slice_of(block);
-        let t = ship_at
-            + self.noc_slice_mc(slice, true)
-            + self.noc_l2_slice(core, slice, true);
+        let t = ship_at + self.noc_slice_mc(slice, true) + self.noc_l2_slice(core, slice, true);
         self.queue.push(t, Ev::L2CtrFill { core, block });
     }
 
@@ -615,19 +630,15 @@ impl SecureSystem {
         // The DRAM write is posted once the ciphertext is ready; enqueue
         // through a zero-payload event to respect the time.
         let line_copy = line;
-        self.queue.push(
-            pad_ready,
-            Ev::McWriteIssue { line: line_copy },
-        );
+        self.queue
+            .push(pad_ready, Ev::McWriteIssue { line: line_copy });
     }
 
     pub(crate) fn mc_write_issue(&mut self, line: LineAddr) {
         if !self.enqueue_dram(line, true, RequestClass::Data, DramTarget::PostedWrite) {
             // Write queue full: retry shortly.
-            self.queue.push(
-                self.now + Time::from_ns(50),
-                Ev::McWriteIssue { line },
-            );
+            self.queue
+                .push(self.now + Time::from_ns(50), Ev::McWriteIssue { line });
         }
     }
 
@@ -677,11 +688,7 @@ impl SecureSystem {
     pub(crate) fn pump_overflow(&mut self) {
         while let Some(req) = {
             // Only pull a request when the DRAM can take it.
-            if self
-                .mc
-                .dram
-                .can_accept(LineAddr::new(0), true)
-            {
+            if self.mc.dram.can_accept(LineAddr::new(0), true) {
                 self.mc.overflow.next_request()
             } else {
                 None

@@ -333,12 +333,7 @@ impl SecureSystem {
                 break;
             }
             self.dispatch(ev);
-            if !self.warmup_done
-                && self
-                    .cores
-                    .iter()
-                    .all(|c| c.issued_ops() >= self.warmup_ops)
-            {
+            if !self.warmup_done && self.cores.iter().all(|c| c.issued_ops() >= self.warmup_ops) {
                 self.end_warmup();
             }
             if self.cores.iter().all(|c| c.finished()) {
@@ -441,12 +436,16 @@ impl SecureSystem {
 
     pub(crate) fn noc_slice_mc(&self, slice: usize, payload: bool) -> Time {
         let a = Node::Core(self.cfg.slice_position(slice));
-        self.cfg.noc.between(&self.cfg.mesh, a, Node::Mc(0), payload)
+        self.cfg
+            .noc
+            .between(&self.cfg.mesh, a, Node::Mc(0), payload)
     }
 
     pub(crate) fn noc_l2_mc(&self, core: usize, payload: bool) -> Time {
         let a = Node::Core(self.cfg.core_position(core));
-        self.cfg.noc.between(&self.cfg.mesh, a, Node::Mc(0), payload)
+        self.cfg
+            .noc
+            .between(&self.cfg.mesh, a, Node::Mc(0), payload)
     }
 
     pub(crate) fn slice_of(&self, line: LineAddr) -> usize {
@@ -537,10 +536,7 @@ impl SecureSystem {
         // L2 miss.
         self.report.l2_data_misses += 1;
         self.train_prefetcher(core, line);
-        let waiter = Waiter {
-            token,
-            is_write,
-        };
+        let waiter = Waiter { token, is_write };
         match self.l2[core].mshr.allocate(line, waiter) {
             MshrOutcome::Merged => return,
             MshrOutcome::Full => {
@@ -676,10 +672,7 @@ impl SecureSystem {
         } else {
             // Counter miss in L2: speculatively request it from LLC, in
             // parallel with the outstanding data access.
-            let waiters = self
-                .l2_ctr_waiters
-                .entry((core, block))
-                .or_default();
+            let waiters = self.l2_ctr_waiters.entry((core, block)).or_default();
             waiters.push(txn_id);
             if waiters.len() == 1 {
                 self.report.l2_ctr_reqs_to_llc += 1;
@@ -713,10 +706,8 @@ impl SecureSystem {
         // be served from the LLC; the paper fetches from an owning L2, but
         // our private-workload model has no second owner, so we re-fetch
         // through the MC (counted — it is rare).
-        let unverified_hit = self.cfg.inclusive_llc
-            && self.slices[slice]
-                .peek(line)
-                .is_some_and(|m| m.unverified);
+        let unverified_hit =
+            self.cfg.inclusive_llc && self.slices[slice].peek(line).is_some_and(|m| m.unverified);
         let hit = !unverified_hit && self.slices[slice].touch(line);
         self.xpt[core].train(line, !hit);
         if unverified_hit {
@@ -774,10 +765,7 @@ impl SecureSystem {
     /// Disposes of an evicted LLC line: dirty data goes to the MC; in
     /// inclusive mode, L1/L2 copies are back-invalidated (dirty L2 copies
     /// supersede the LLC's and write back instead).
-    pub(crate) fn handle_llc_eviction(
-        &mut self,
-        victim: Option<emcc_cache::EvictedLine<LlcMeta>>,
-    ) {
+    pub(crate) fn handle_llc_eviction(&mut self, victim: Option<emcc_cache::EvictedLine<LlcMeta>>) {
         let Some(victim) = victim else {
             return;
         };
@@ -1137,16 +1125,13 @@ impl SecureSystem {
                     {
                         continue;
                     }
-                    if self.l2[core]
-                        .mshr
-                        .allocate(
-                            target,
-                            Waiter {
-                                token: None,
-                                is_write: false,
-                            },
-                        )
-                        == MshrOutcome::Allocated
+                    if self.l2[core].mshr.allocate(
+                        target,
+                        Waiter {
+                            token: None,
+                            is_write: false,
+                        },
+                    ) == MshrOutcome::Allocated
                     {
                         self.report.prefetches += 1;
                         self.start_data_txn(core, target, true, self.now);

@@ -129,18 +129,20 @@ impl Timeline {
                 segments.push(("data: L2→LLC→MC→DRAM→L2", Time::ZERO, data_done));
                 // Counter, parallel (delayed by J): L2→LLC miss →MC→DRAM,
                 // verified at MC, used at MC for this access.
-                let ctr_at_mc =
-                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let ctr_at_mc = p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
                 let ctr_done = ctr_at_mc + p.dram_row_miss + crypt;
-                segments.push(("ctr: L2→LLC(miss)→MC→DRAM + crypt", p.l2_ctr_lookup, ctr_done));
+                segments.push((
+                    "ctr: L2→LLC(miss)→MC→DRAM + crypt",
+                    p.l2_ctr_lookup,
+                    ctr_done,
+                ));
                 data_done.max(ctr_done) + p.crypto.xor_and_compare
             }
             TimelineScenario::EmccCtrHitLlc => {
                 let data_at_mc = p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
                 let data_done = data_at_mc + p.dram_row_hit + p.noc_one_way + p.noc_one_way;
                 segments.push(("data: L2→LLC→MC→DRAM→L2", Time::ZERO, data_done));
-                let ctr_at_l2 =
-                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let ctr_at_l2 = p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
                 let aes_done = ctr_at_l2 + p.crypto.counter_decode + crypt;
                 segments.push(("ctr: L2→LLC(hit)→L2 + AES@L2", p.l2_ctr_lookup, aes_done));
                 data_done.max(aes_done) + p.crypto.xor_and_compare
@@ -164,8 +166,7 @@ impl Timeline {
                 let data_at_mc = p.l2_lookup + p.noc_one_way;
                 let data_done = data_at_mc + p.dram_row_miss + p.noc_one_way + p.noc_one_way;
                 segments.push(("data: L2→MC(XPT)→DRAM→L2", Time::ZERO, data_done));
-                let ctr_at_l2 =
-                    p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let ctr_at_l2 = p.l2_ctr_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
                 let aes_done = ctr_at_l2 + p.crypto.counter_decode + crypt;
                 segments.push(("ctr: L2→LLC(hit)→L2 + AES@L2", p.l2_ctr_lookup, aes_done));
                 data_done.max(aes_done) + p.crypto.xor_and_compare
@@ -177,8 +178,7 @@ impl Timeline {
                 let data_at_mc = p.l2_lookup + p.noc_one_way;
                 let data_done_at_mc = data_at_mc + p.dram_row_miss;
                 segments.push(("data: L2→MC(XPT)→DRAM", Time::ZERO, data_done_at_mc));
-                let confirm_at_mc =
-                    p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
+                let confirm_at_mc = p.l2_lookup + p.noc_one_way + p.llc_lookup() + p.noc_one_way;
                 let ctr_start = confirm_at_mc + p.mc_ctr_cache;
                 let ctr_done = ctr_start + p.direct_llc + p.crypto.counter_decode + crypt;
                 segments.push(("ctr: MC→LLC(hit)→MC + AES@MC", confirm_at_mc, ctr_done));
@@ -282,16 +282,10 @@ mod tests {
             // Baseline (Fig 10b): data path then serial ctr LLC miss+DRAM.
             let pp = p();
             let data_at_mc = pp.l2_lookup + pp.noc_one_way + Time::from_ns(4) + pp.noc_one_way;
-            let ctr_done = data_at_mc
-                + pp.mc_ctr_cache
-                + pp.direct_llc
-                + pp.dram_row_miss
-                + pp.crypto.aes;
+            let ctr_done =
+                data_at_mc + pp.mc_ctr_cache + pp.direct_llc + pp.dram_row_miss + pp.crypto.aes;
             let data_done = data_at_mc + pp.dram_row_miss;
-            ctr_done.max(data_done)
-                + pp.noc_one_way
-                + pp.noc_one_way
-                + pp.crypto.xor_and_compare
+            ctr_done.max(data_done) + pp.noc_one_way + pp.noc_one_way + pp.crypto.xor_and_compare
         };
         assert!(
             emcc < base_serial,

@@ -42,7 +42,10 @@ impl XptPredictor {
     ///
     /// Panics unless `entries` is a positive power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
         // Initialize weakly toward "miss": a cold region's first access
         // almost certainly misses the LLC.
         XptPredictor {

@@ -273,7 +273,10 @@ mod tests {
                 overflows += 1;
             }
         }
-        assert_eq!(overflows, 1, "single hot line rebases exactly once at 128 writes");
+        assert_eq!(
+            overflows, 1,
+            "single hot line rebases exactly once at 128 writes"
+        );
     }
 
     #[test]

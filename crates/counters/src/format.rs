@@ -156,12 +156,7 @@ fn read_bits(bytes: &[u8], bit: usize, width: usize) -> u16 {
 /// assert_eq!((f2, major, mac), (fmt, 9, 0xABCD));
 /// assert_eq!(m2[5], 3);
 /// ```
-pub fn encode_morphable(
-    format: MorphFormat,
-    major: u64,
-    minors: &[u16],
-    mac: u64,
-) -> [u8; 64] {
+pub fn encode_morphable(format: MorphFormat, major: u64, minors: &[u16], mac: u64) -> [u8; 64] {
     assert_eq!(minors.len(), MORPHABLE_MINORS, "need 128 minors");
     let nz = minors.iter().filter(|&&m| m > 0).count();
     let mx = minors.iter().copied().max().unwrap_or(0);
@@ -302,7 +297,12 @@ mod tests {
         for (i, m) in minors.iter_mut().enumerate() {
             *m = (i % 8) as u16;
         }
-        let bytes = encode_morphable(MorphFormat::Uniform3, 77, &minors, 0x00AA_BBCC_DDEE_FF01 & 0x00FF_FFFF_FFFF_FFFF);
+        let bytes = encode_morphable(
+            MorphFormat::Uniform3,
+            77,
+            &minors,
+            0x00AA_BBCC_DDEE_FF01 & 0x00FF_FFFF_FFFF_FFFF,
+        );
         let (f, major, m2, _mac) = decode_morphable(&bytes).unwrap();
         assert_eq!(f, MorphFormat::Uniform3);
         assert_eq!(major, 77);

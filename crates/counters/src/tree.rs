@@ -242,9 +242,7 @@ impl IntegrityTree {
     pub fn data_counter(&self, line: LineAddr) -> u64 {
         let cb = self.geometry.counter_block_of(line);
         let slot = self.geometry.slot_of(line);
-        self.blocks
-            .get(&(0, cb))
-            .map_or(0, |b| b.counter(slot))
+        self.blocks.get(&(0, cb)).map_or(0, |b| b.counter(slot))
     }
 
     /// Increments a data line's counter (a write-back of that line).

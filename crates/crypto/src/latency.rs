@@ -20,7 +20,7 @@ use emcc_sim::Time;
 /// assert_eq!(lat.aes, Time::from_ns(14));
 /// assert_eq!(lat.counter_decode, Time::from_ns(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CryptoLatencies {
     /// One counter-mode AES computation (OTP generation or MAC AES half).
     /// The four OTPs of a block are computed by parallel units, so a block

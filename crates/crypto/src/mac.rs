@@ -167,13 +167,21 @@ mod tests {
 
     #[test]
     fn gf_distributes_over_xor() {
-        let (a, b, c) = (0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0x5a5a_5a5a_a5a5_a5a5);
+        let (a, b, c) = (
+            0x0123_4567_89ab_cdef,
+            0xfedc_ba98_7654_3210,
+            0x5a5a_5a5a_a5a5_a5a5,
+        );
         assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
     }
 
     #[test]
     fn gf_associative() {
-        let (a, b, c) = (0x1111_2222_3333_4444u64, 0x9999_8888u64, 0xabcd_ef01_2345u64);
+        let (a, b, c) = (
+            0x1111_2222_3333_4444u64,
+            0x9999_8888u64,
+            0xabcd_ef01_2345u64,
+        );
         assert_eq!(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
     }
 

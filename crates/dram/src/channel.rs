@@ -118,7 +118,11 @@ impl DramChannel {
 
     /// True if a request of the given direction can be queued.
     pub fn can_accept(&self, is_write: bool) -> bool {
-        let q = if is_write { &self.write_q } else { &self.read_q };
+        let q = if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         q.len() < self.config.queue_capacity
     }
 

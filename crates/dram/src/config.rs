@@ -14,7 +14,7 @@ use emcc_sim::Time;
 /// assert_eq!(c.ranks, 8);
 /// assert_eq!(c.t_cl.as_ns_f64(), 13.75);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Number of channels (the paper evaluates 1 and 8).
     pub channels: usize,
@@ -61,7 +61,10 @@ impl DramConfig {
     /// Panics if `channels` is not a power of two (required by the
     /// bit-sliced channel interleaving).
     pub fn table_i(channels: usize) -> Self {
-        assert!(channels.is_power_of_two(), "channels must be a power of two");
+        assert!(
+            channels.is_power_of_two(),
+            "channels must be a power of two"
+        );
         DramConfig {
             channels,
             ranks: 8,

@@ -41,7 +41,10 @@ impl AddressMapping {
     ///
     /// Panics if `channels` is not a power of two.
     pub fn new(channels: usize) -> Self {
-        assert!(channels.is_power_of_two(), "channels must be a power of two");
+        assert!(
+            channels.is_power_of_two(),
+            "channels must be a power of two"
+        );
         AddressMapping { channels }
     }
 
@@ -151,6 +154,9 @@ mod tests {
         let a = m.locate(LineAddr::new(0));
         let b = m.locate(LineAddr::new(4)); // channel 1, same dense addr
         assert_eq!((a.rank, a.bank, a.row), (b.rank, b.bank, b.row));
-        assert_ne!(m.channel_of(LineAddr::new(0)), m.channel_of(LineAddr::new(4)));
+        assert_ne!(
+            m.channel_of(LineAddr::new(0)),
+            m.channel_of(LineAddr::new(4))
+        );
     }
 }

@@ -58,28 +58,17 @@ impl DramStats {
 
     /// Total completed requests across buckets.
     pub fn total_requests(&self) -> u64 {
-        self.buckets
-            .iter()
-            .flatten()
-            .map(|b| b.count)
-            .sum()
+        self.buckets.iter().flatten().map(|b| b.count).sum()
     }
 
     /// Total bus busy time across buckets.
     pub fn total_bus_busy(&self) -> Time {
-        self.buckets
-            .iter()
-            .flatten()
-            .map(|b| b.bus_busy)
-            .sum()
+        self.buckets.iter().flatten().map(|b| b.bus_busy).sum()
     }
 
     /// Bus busy time for one class (both directions).
     pub fn bus_busy_for(&self, class: RequestClass) -> Time {
-        self.buckets[class.index()]
-            .iter()
-            .map(|b| b.bus_busy)
-            .sum()
+        self.buckets[class.index()].iter().map(|b| b.bus_busy).sum()
     }
 
     /// Completed request count for one class (both directions).

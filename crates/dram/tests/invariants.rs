@@ -11,7 +11,6 @@ fn drive(channels: usize, n: u64, seed: u64) -> Vec<(u64, Time, bool)> {
     let mut out = Vec::new();
     let mut now = Time::ZERO;
     let mut issued = 0u64;
-    let mut next_wake: Option<Time> = None;
     while out.len() < n as usize {
         // Feed a new request every ~5 ns until all are queued.
         if issued < n {
@@ -30,8 +29,7 @@ fn drive(channels: usize, n: u64, seed: u64) -> Vec<(u64, Time, bool)> {
         for c in r.completions {
             out.push((c.id, c.done, c.is_write));
         }
-        next_wake = r.next_wake;
-        now = match next_wake {
+        now = match r.next_wake {
             Some(w) if w > now => w,
             _ => now + Time::from_ns(5),
         };
@@ -47,7 +45,10 @@ fn single_channel_bus_is_serialized() {
     dones.sort();
     for w in dones.windows(2) {
         let gap = w[1] - w[0];
-        assert!(gap >= Time::from_ns_f64(2.5), "bus double-booked: gap {gap}");
+        assert!(
+            gap >= Time::from_ns_f64(2.5),
+            "bus double-booked: gap {gap}"
+        );
     }
 }
 
@@ -64,7 +65,10 @@ fn all_requests_complete_exactly_once() {
 fn completions_never_precede_minimum_latency() {
     // No access can beat a row-buffer hit (tCL + burst = 16.25 ns).
     for (_, done, _) in drive(1, 300, 21) {
-        assert!(done >= Time::from_ns_f64(16.25), "impossible latency {done}");
+        assert!(
+            done >= Time::from_ns_f64(16.25),
+            "impossible latency {done}"
+        );
     }
 }
 

@@ -1,0 +1,226 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! This workspace must build without network access (DESIGN.md §8), so the
+//! bench harness ships its own minimal implementation of the criterion
+//! surface the benches use: [`Criterion::bench_function`], benchmark
+//! groups with sample/warmup/measurement knobs, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Bench files depend on
+//! it under the name `criterion`, so swapping back to the real crate is a
+//! one-line Cargo.toml change.
+//!
+//! Measurement model: each sample runs the closure in a timed batch and
+//! reports the median over samples as ns/iter, with min/max spread —
+//! deliberately simple, but stable enough to compare two implementations
+//! of the same kernel (e.g. byte-wise vs T-table AES).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body` repeatedly; called once per sample by the harness.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(body());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First CLI arg (as passed by `cargo bench -- <filter>`) filters
+        // benchmark names by substring, like real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        let cfg = GroupConfig::default();
+        run_one(name, &self.filter, &cfg, body);
+        self
+    }
+
+    /// Opens a named group whose settings apply to its benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            filter: self.filter.clone(),
+            cfg: GroupConfig::default(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample/timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    cfg: GroupConfig,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, &self.filter, &self.cfg, body);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    filter: &Option<String>,
+    cfg: &GroupConfig,
+    mut body: F,
+) {
+    if let Some(f) = filter {
+        if !name.contains(f.as_str()) {
+            return;
+        }
+    }
+
+    // Warm-up: discover a per-sample iteration count such that one sample
+    // lands near measurement_time / sample_size.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + cfg.warm_up_time;
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+        };
+        body(&mut b);
+        let elapsed = b.samples.last().copied().unwrap_or_default();
+        per_iter = elapsed.checked_div(iters as u32).unwrap_or(per_iter);
+        if Instant::now() >= warm_deadline {
+            break;
+        }
+        if elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(4).max(1);
+        }
+    }
+    let sample_budget = cfg.measurement_time.as_nanos() / cfg.sample_size as u128;
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    iters = ((sample_budget / per_iter_ns) as u64).clamp(1, 1 << 30);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(cfg.sample_size),
+    };
+    for _ in 0..cfg.sample_size {
+        body(&mut b);
+    }
+
+    let mut ns: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = ns[ns.len() / 2];
+    let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+    println!(
+        "{name:<48} {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]  ({} samples x {iters} iters)",
+        ns.len()
+    );
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $bench(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            iters_per_sample: 10,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn group_settings_clamp() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1);
+        assert_eq!(g.cfg.sample_size, 2);
+    }
+}

@@ -15,7 +15,7 @@ use emcc_sim::Time;
 use crate::mesh::{Mesh, Node};
 
 /// Latency parameters for mesh traversal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NocLatency {
     /// Fixed cost of injection + ejection + destination queue.
     pub base: Time,
@@ -135,7 +135,10 @@ mod tests {
             total += lat.one_way(h, false).as_ns_f64() + lat.one_way(h, true).as_ns_f64();
         }
         let mean = total / mesh.num_cores() as f64;
-        assert!((14.0..20.0).contains(&mean), "slice<->MC round trip {mean} ns");
+        assert!(
+            (14.0..20.0).contains(&mean),
+            "slice<->MC round trip {mean} ns"
+        );
     }
 
     #[test]

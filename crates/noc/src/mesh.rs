@@ -15,7 +15,7 @@ pub enum Node {
 /// Positions follow the paper's Figure 4: a 6-column × 5-row grid with
 /// MC1 on the left of row 1 and MC2 on the right of row 3; the remaining
 /// 28 slots are core tiles numbered row-major.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Mesh {
     cols: u32,
     rows: u32,
@@ -130,9 +130,7 @@ impl Mesh {
     /// Mean hop count from core tiles to a given MC.
     pub fn mean_core_to_mc_hops(&self, mc: usize) -> f64 {
         let n = self.num_cores();
-        let total: u64 = (0..n)
-            .map(|c| u64::from(self.hops_core_to_mc(c, mc)))
-            .sum();
+        let total: u64 = (0..n).map(|c| u64::from(self.hops_core_to_mc(c, mc))).sum();
         total as f64 / n as f64
     }
 }

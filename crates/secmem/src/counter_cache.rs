@@ -160,6 +160,8 @@ mod tests {
         let mut c = MetadataCache::new(128, 2);
         c.fill(LineAddr::new(0), BlockKind::Counter, false);
         c.fill(LineAddr::new(1), BlockKind::Counter, false);
-        assert!(c.fill(LineAddr::new(2), BlockKind::Counter, false).is_none());
+        assert!(c
+            .fill(LineAddr::new(2), BlockKind::Counter, false)
+            .is_none());
     }
 }

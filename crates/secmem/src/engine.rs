@@ -116,16 +116,16 @@ impl AesPool {
 /// assert!((l2 - 65_000_000.0).abs() < 1.0);
 /// ```
 pub fn split_aes_bandwidth(fraction_to_l2: f64, num_l2: usize) -> (f64, f64) {
-    assert!((0.0..=1.0).contains(&fraction_to_l2), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&fraction_to_l2),
+        "fraction out of range"
+    );
     assert!(num_l2 > 0, "need at least one L2");
     const CHIP_AES_PER_SEC: f64 = 2_600_000_000.0;
     const AES_PER_BLOCK_OP: f64 = 5.0; // 4 OTPs + 1 MAC, issued in parallel
     let total_block_ops = CHIP_AES_PER_SEC / AES_PER_BLOCK_OP;
     let to_l2 = total_block_ops * fraction_to_l2;
-    (
-        total_block_ops - to_l2,
-        to_l2 / num_l2 as f64,
-    )
+    (total_block_ops - to_l2, to_l2 / num_l2 as f64)
 }
 
 #[cfg(test)]

@@ -194,7 +194,10 @@ impl FunctionalSecureMemory {
     ///
     /// Panics if the line was never written or `bit >= 512`.
     pub fn tamper_flip_bit(&mut self, line: LineAddr, bit: usize) {
-        let s = self.store.get_mut(&line).expect("line must exist to tamper");
+        let s = self
+            .store
+            .get_mut(&line)
+            .expect("line must exist to tamper");
         s.cipher = s.cipher.with_bit_flipped(bit);
     }
 
@@ -328,8 +331,7 @@ mod tests {
     fn rebase_preserves_all_covered_values() {
         // Force a rebase with SC-64 (overflows after 128 writes to one
         // line) and check neighbors survive re-encryption.
-        let mut m =
-            FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
+        let mut m = FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
         m.write(LineAddr::new(0), block(100));
         m.write(LineAddr::new(1), block(101));
         m.write(LineAddr::new(63), block(163));

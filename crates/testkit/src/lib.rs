@@ -1,0 +1,202 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest)
+//! property-testing API.
+//!
+//! This workspace must build without network access (DESIGN.md §8), so
+//! the property tests run on a local implementation of the proptest
+//! surface they use: the [`proptest!`] macro, `any::<T>()`, integer-range
+//! and tuple strategies, `prop::collection::vec`, `prop::array::uniform8`
+//! and the `prop_assert*` macros. Test files depend on it under the name
+//! `proptest`, so swapping back to the real crate is a one-line
+//! Cargo.toml change.
+//!
+//! Cases are generated from a deterministic splitmix64 stream seeded by
+//! the test name, so failures are reproducible run-to-run. Set
+//! `PROPTEST_CASES` (default 64) to raise or lower the case count. There
+//! is no shrinking: a failing case reports its inputs verbatim.
+
+pub mod strategy;
+
+pub use strategy::{any, Strategy};
+
+/// Deterministic generator state for one property test.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from the test's name so each test gets a distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next value of the splitmix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Modules mirroring proptest's `prop::` paths.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A `Vec` of values from `element`, sized within `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Fixed-size array strategies (`prop::array::uniform8`).
+    pub mod array {
+        use crate::strategy::{ArrayStrategy8, Strategy};
+
+        /// An `[T; 8]` with each element drawn from `element`.
+        pub fn uniform8<S: Strategy>(element: S) -> ArrayStrategy8<S> {
+            ArrayStrategy8 { element }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// Each declared function becomes a `#[test]` (the attribute is written
+/// explicitly inside the macro invocation, as in real proptest) running
+/// [`case_count`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::case_count() {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __result = (move || -> ::std::result::Result<(), String> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "property {} failed at case {}:\n  {}\n  inputs: {}",
+                            stringify!($name), __case, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let mut c = crate::TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself: ranges stay in bounds, tuples and vecs work.
+        #[test]
+        fn macro_smoke(
+            x in 3u64..10,
+            y in 0u16..=5,
+            pair in (0u64..4, any::<u64>()),
+            v in prop::collection::vec(0usize..7, 1..=9),
+            arr in prop::array::uniform8(any::<u64>()),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5, "y out of range: {}", y);
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!v.is_empty() && v.len() <= 9);
+            prop_assert!(v.iter().all(|&e| e < 7));
+            prop_assert_eq!(arr.len(), 8);
+        }
+    }
+}

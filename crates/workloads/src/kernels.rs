@@ -372,11 +372,7 @@ mod tests {
     fn traversals_are_dependence_heavy() {
         let g = small_graph();
         let bfs = GraphKernel::Bfs.record(&g, 5, 10_000, 0, 1);
-        let deps = bfs
-            .ops()
-            .iter()
-            .filter(|o| o.depends_on_prev)
-            .count();
+        let deps = bfs.ops().iter().filter(|o| o.depends_on_prev).count();
         assert!(
             deps * 5 > bfs.len(),
             "BFS should have >20% dependent loads, got {deps}"
@@ -389,10 +385,8 @@ mod tests {
         let t0 = GraphKernel::PageRank.record(&g, 5, 2_000, 0, 4);
         let t1 = GraphKernel::PageRank.record(&g, 5, 2_000, 1, 4);
         // Different partitions + different pager seeds ⇒ different lines.
-        let l0: std::collections::HashSet<u64> =
-            t0.ops().iter().map(|o| o.line.get()).collect();
-        let l1: std::collections::HashSet<u64> =
-            t1.ops().iter().map(|o| o.line.get()).collect();
+        let l0: std::collections::HashSet<u64> = t0.ops().iter().map(|o| o.line.get()).collect();
+        let l1: std::collections::HashSet<u64> = t1.ops().iter().map(|o| o.line.get()).collect();
         let shared = l0.intersection(&l1).count();
         assert!(shared * 10 < l0.len(), "partitions overlap too much");
     }

@@ -108,7 +108,10 @@ pub fn mcf(seed: u64, target: usize, footprint_bytes: u64) -> Trace {
         } else {
             MemOp::load(a, 2)
         });
-        ops.push(MemOp::dependent_load(translate(&mut pager, *c * 128 + 64), 2));
+        ops.push(MemOp::dependent_load(
+            translate(&mut pager, *c * 128 + 64),
+            2,
+        ));
         *c = (c.wrapping_mul(0x5DEECE66D).wrapping_add(11)) % nodes;
         // Occasional pivot update: write back node state.
         if rng.chance(0.12) {

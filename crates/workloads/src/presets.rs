@@ -95,7 +95,9 @@ impl Benchmark {
 
     /// The fifteen regular benchmarks of Figure 24.
     pub fn regular_suite() -> Vec<Benchmark> {
-        (0..regular_profiles().len()).map(Benchmark::Regular).collect()
+        (0..regular_profiles().len())
+            .map(Benchmark::Regular)
+            .collect()
     }
 
     /// The benchmark's display name (paper's figure label).
@@ -143,16 +145,12 @@ impl Benchmark {
                     })
                     .collect()
             }
-            Benchmark::Canneal => {
-                Self::multiprogram(cores, |i| {
-                    pointer::canneal(seed + i, ops, scale.footprint(512 * MB))
-                })
-            }
-            Benchmark::Omnetpp => {
-                Self::multiprogram(cores, |i| {
-                    pointer::omnetpp(seed + i, ops, scale.footprint(256 * MB))
-                })
-            }
+            Benchmark::Canneal => Self::multiprogram(cores, |i| {
+                pointer::canneal(seed + i, ops, scale.footprint(512 * MB))
+            }),
+            Benchmark::Omnetpp => Self::multiprogram(cores, |i| {
+                pointer::omnetpp(seed + i, ops, scale.footprint(256 * MB))
+            }),
             Benchmark::Mcf => Self::multiprogram(cores, |i| {
                 pointer::mcf(seed + i, ops, scale.footprint(384 * MB))
             }),
@@ -244,8 +242,7 @@ mod tests {
 
     #[test]
     fn graph_benchmark_builds_all_threads() {
-        let mut srcs =
-            Benchmark::Graph(GraphKernel::Bfs).build_scaled(1, 4, WorkloadScale::Test);
+        let mut srcs = Benchmark::Graph(GraphKernel::Bfs).build_scaled(1, 4, WorkloadScale::Test);
         let ops: Vec<_> = srcs.iter_mut().map(|s| s.next_op()).collect();
         assert_eq!(ops.len(), 4);
     }

@@ -53,7 +53,11 @@ impl MemOp {
 /// Sources never run dry: finite recorded traces replay cyclically, which
 /// matches the paper's methodology of simulating a fixed time window from
 /// a representative region.
-pub trait TraceSource {
+///
+/// Sources are `Send` so whole simulations can run on worker threads (the
+/// bench harness executes independent runs in parallel; each simulation
+/// itself stays single-threaded).
+pub trait TraceSource: Send {
     /// The next memory operation.
     fn next_op(&mut self) -> MemOp;
 

@@ -29,7 +29,12 @@ fn main() {
             continue;
         }
         let bar = "#".repeat((frac * 250.0).round() as usize);
-        println!("{:>3.0} ns | {:<50} {:>5.1}%", h.bin_lower(i), bar, frac * 100.0);
+        println!(
+            "{:>3.0} ns | {:<50} {:>5.1}%",
+            h.bin_lower(i),
+            bar,
+            frac * 100.0
+        );
     }
     println!(
         "\nmean {:.1} ns (paper: 23 ns), p50 {:.1} ns, p95 {:.1} ns",

@@ -28,13 +28,19 @@ fn main() {
     mem.write(line, secret);
     let raw = mem.raw(line).expect("line was written");
     println!("plaintext word 0:  {:#018x}", secret.words()[0]);
-    println!("DRAM (bus probe):  {:#018x}  <- ciphertext only", raw.cipher.words()[0]);
+    println!(
+        "DRAM (bus probe):  {:#018x}  <- ciphertext only",
+        raw.cipher.words()[0]
+    );
     println!("MAC co-located:    {}", raw.mac);
 
     println!("\n== freshness (counter-mode) ==");
     mem.write(line, secret); // same plaintext again
     let raw2 = mem.raw(line).expect("line still exists");
-    println!("same plaintext re-written -> new ciphertext: {:#018x}", raw2.cipher.words()[0]);
+    println!(
+        "same plaintext re-written -> new ciphertext: {:#018x}",
+        raw2.cipher.words()[0]
+    );
     assert_ne!(raw.cipher, raw2.cipher, "pads must never repeat");
 
     println!("\n== integrity: bit-flip attack ==");

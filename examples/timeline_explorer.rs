@@ -14,8 +14,14 @@ fn main() {
 
     println!("== Paper defaults ==\n");
     for (label, sc) in [
-        ("baseline, ctr hit in LLC (Fig 13b)", TimelineScenario::BaselineCtrHitLlc),
-        ("EMCC, ctr hit in LLC (Fig 13a)", TimelineScenario::EmccCtrHitLlc),
+        (
+            "baseline, ctr hit in LLC (Fig 13b)",
+            TimelineScenario::BaselineCtrHitLlc,
+        ),
+        (
+            "EMCC, ctr hit in LLC (Fig 13a)",
+            TimelineScenario::EmccCtrHitLlc,
+        ),
     ] {
         println!("{label}:");
         print!("{}", Timeline::compose(sc, &base).render());

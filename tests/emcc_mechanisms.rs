@@ -20,12 +20,18 @@ fn l2_counter_budget_is_enforced() {
         "budget violated: peak {} lines",
         r.l2_ctr_lines_peak
     );
-    assert!(r.l2_ctr_insertions > 64, "churn expected with a tiny budget");
+    assert!(
+        r.l2_ctr_insertions > 64,
+        "churn expected with a tiny budget"
+    );
 }
 
 #[test]
 fn default_budget_is_32kb() {
-    let r = run_cfg(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run_cfg(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert!(r.l2_ctr_lines_peak <= 512);
 }
 
@@ -77,7 +83,10 @@ fn xpt_off_still_correct_and_slower_or_equal() {
 #[test]
 fn prefetcher_off_changes_nothing_for_random_workloads() {
     // canneal has no strides; the prefetcher should stay quiet.
-    let r = run_cfg(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run_cfg(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert_eq!(
         r.prefetches, 0,
         "stride prefetcher must not fire on random access"
@@ -90,7 +99,10 @@ fn prefetcher_fires_on_streaming_workloads() {
         Benchmark::Regular(8), // bwaves_s: heavy streaming
         SystemConfig::table_i(SecurityScheme::NonSecure),
     );
-    assert!(r.prefetches > 0, "streams must trigger the stride prefetcher");
+    assert!(
+        r.prefetches > 0,
+        "streams must trigger the stride prefetcher"
+    );
 }
 
 #[test]
@@ -116,7 +128,10 @@ fn monolithic_counters_never_overflow() {
 fn secure_access_latency_orders_by_scheme() {
     // MC-hit AES overlap means McOnly/CtrInLlc secure latency must exceed
     // the raw DRAM latency but stay bounded.
-    let r = run_cfg(Benchmark::Omnetpp, SystemConfig::table_i(SecurityScheme::CtrInLlc));
+    let r = run_cfg(
+        Benchmark::Omnetpp,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
     let lat = r.secure_access_latency_ns.mean();
     assert!(lat > 16.0, "secure latency below DRAM row hit: {lat:.1}");
     assert!(lat < 500.0, "secure latency absurd: {lat:.1}");
@@ -171,7 +186,10 @@ fn dynamic_disable_turns_emcc_off_for_cache_friendly_phases() {
 
 #[test]
 fn dynamic_disable_off_by_default() {
-    let r = run_cfg(Benchmark::Regular(9), SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run_cfg(
+        Benchmark::Regular(9),
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert_eq!(r.emcc_disabled_windows, 0);
 }
 
@@ -204,7 +222,10 @@ fn inclusive_mode_back_invalidates_under_pressure() {
 
 #[test]
 fn non_inclusive_mode_never_back_invalidates() {
-    let r = run_cfg(Benchmark::Omnetpp, SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run_cfg(
+        Benchmark::Omnetpp,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert_eq!(r.inclusive_back_invals, 0);
     assert_eq!(r.llc_unverified_inserts, 0);
 }

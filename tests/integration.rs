@@ -19,9 +19,18 @@ fn run(bench: Benchmark, cfg: SystemConfig) -> SimReport {
 fn security_costs_performance_and_emcc_recovers_some() {
     // The paper's Fig 16 ordering on an irregular workload:
     // non-secure ≥ EMCC ≥ Morphable baseline.
-    let ns = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::NonSecure));
-    let base = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::CtrInLlc));
-    let emcc = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::Emcc));
+    let ns = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::NonSecure),
+    );
+    let base = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
+    let emcc = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert!(ns.elapsed < emcc.elapsed, "non-secure must be fastest");
     assert!(
         emcc.elapsed < base.elapsed,
@@ -37,8 +46,14 @@ fn caching_counters_in_llc_reduces_dram_counter_traffic() {
     let meta = |r: &SimReport| {
         r.dram.count_for(RequestClass::Counter) + r.dram.count_for(RequestClass::TreeNode)
     };
-    let without = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::McOnly));
-    let with = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::CtrInLlc));
+    let without = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::McOnly),
+    );
+    let with = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
     assert!(
         meta(&with) < meta(&without),
         "LLC caching must reduce counter DRAM traffic: {} vs {}",
@@ -50,7 +65,10 @@ fn caching_counters_in_llc_reduces_dram_counter_traffic() {
 #[test]
 fn bigger_llc_improves_counter_hits() {
     // Fig 7 vs Fig 6: more LLC, fewer counter LLC-misses.
-    let small = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::CtrInLlc));
+    let small = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
     let big = run(
         Benchmark::Canneal,
         SystemConfig::table_i(SecurityScheme::CtrInLlc).with_llc_total(48 * 1024 * 1024),
@@ -69,7 +87,10 @@ fn emcc_useless_counter_accesses_are_rare() {
     // At Test scale canneal is maximally random, so counter reuse is far
     // below paper scale; the bound here only guards against the filter
     // breaking entirely (paper-scale calibration lives in EXPERIMENTS.md).
-    let r = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert!(
         r.useless_ctr_frac() < 0.60,
         "useless counter fraction too high: {:.3}",
@@ -81,8 +102,14 @@ fn emcc_useless_counter_accesses_are_rare() {
 fn emcc_counter_requests_close_to_baseline() {
     // Fig 12: EMCC's total counter accesses to LLC stay near the serial
     // baseline's (paper: within ~4.2%).
-    let base = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::CtrInLlc));
-    let emcc = run(Benchmark::Canneal, SystemConfig::table_i(SecurityScheme::Emcc));
+    let base = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
+    let emcc = run(
+        Benchmark::Canneal,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     let b = base.ctr_llc_access_frac();
     let e = emcc.ctr_llc_access_frac();
     assert!(
@@ -140,12 +167,14 @@ fn sc64_overflows_more_than_morphable() {
     let mut sc = SystemConfig::table_i(SecurityScheme::CtrInLlc);
     sc.counter_design = emcc::counters::CounterDesign::Sc64;
     let sc64 = run(Benchmark::Mcf, sc);
-    let morph = run(Benchmark::Mcf, SystemConfig::table_i(SecurityScheme::CtrInLlc));
+    let morph = run(
+        Benchmark::Mcf,
+        SystemConfig::table_i(SecurityScheme::CtrInLlc),
+    );
     // Compare DRAM counter traffic: SC-64's halved coverage needs more
     // counter blocks for the same footprint.
     assert!(
-        sc64.dram.count_for(RequestClass::Counter)
-            >= morph.dram.count_for(RequestClass::Counter),
+        sc64.dram.count_for(RequestClass::Counter) >= morph.dram.count_for(RequestClass::Counter),
         "SC-64 should fetch at least as many counter blocks"
     );
 }
@@ -153,7 +182,10 @@ fn sc64_overflows_more_than_morphable() {
 #[test]
 fn regular_workloads_barely_touch_counters_in_l2() {
     // Fig 24's point: EMCC is harmless for cache-friendly programs.
-    let r = run(Benchmark::Regular(0), SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run(
+        Benchmark::Regular(0),
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     assert!(
         r.useless_ctr_frac() < 0.10,
         "blackscholes useless counter fraction: {:.3}",
@@ -174,7 +206,10 @@ fn graph_kernels_run_under_all_schemes() {
 
 #[test]
 fn reports_are_internally_consistent() {
-    let r = run(Benchmark::Omnetpp, SystemConfig::table_i(SecurityScheme::Emcc));
+    let r = run(
+        Benchmark::Omnetpp,
+        SystemConfig::table_i(SecurityScheme::Emcc),
+    );
     // Counter-source fractions partition DRAM reads.
     let total = r.ctr_mc_hit_frac() + r.ctr_llc_hit_frac() + r.ctr_llc_miss_frac();
     assert!((total - 1.0).abs() < 1e-9 || r.ctr_source.iter().sum::<u64>() == 0);
