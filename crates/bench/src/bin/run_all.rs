@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use emcc_bench::{experiments, Harness};
+use emcc_bench::{experiments, FailedRun, Harness};
 
 fn main() {
     let h = Harness::from_env();
@@ -59,6 +59,43 @@ fn main() {
         "[{sim_secs:>7.1}s] simulated {sched_misses} unique runs \
          ({requested} requested, {sched_hits} shared)"
     );
+
+    // Crash isolation: a panicking simulation was contained by the pool
+    // and recorded as telemetry. Rendering would read poisoned holes out
+    // of the cache, so write the telemetry trail and bail nonzero.
+    let failures = h.failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!(
+                "[{:>7.1}s] FAILED run: {} / {}: {}",
+                t0.elapsed().as_secs_f64(),
+                f.bench,
+                f.scheme,
+                f.error
+            );
+        }
+        let total_secs = t0.elapsed().as_secs_f64();
+        let json = bench_json(
+            scale,
+            h.jobs(),
+            requested,
+            sim_secs,
+            total_secs,
+            sched_hits,
+            sched_misses,
+            &[],
+            &failures,
+        );
+        match std::fs::write("BENCH_run_all.json", &json) {
+            Ok(()) => eprintln!("[{total_secs:>7.1}s] wrote BENCH_run_all.json"),
+            Err(e) => eprintln!("[{total_secs:>7.1}s] BENCH_run_all.json: {e}"),
+        }
+        eprintln!(
+            "[{total_secs:>7.1}s] aborting render: {} of {requested} runs failed",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
 
     // Phase 2: render serially in the fixed figure order; every run()
     // below is a cache hit.
@@ -160,6 +197,7 @@ fn main() {
         hits,
         misses,
         &timings,
+        &[],
     );
     match std::fs::write("BENCH_run_all.json", &json) {
         Ok(()) => eprintln!("[{total_secs:>7.1}s] wrote BENCH_run_all.json"),
@@ -168,7 +206,8 @@ fn main() {
     eprintln!("[{total_secs:>7.1}s] done ({misses} simulations, {hits} cache hits)");
 }
 
-/// Hand-rolled JSON (no serde in the tree): timing + cache telemetry.
+/// Hand-rolled JSON (no serde in the tree): timing + cache telemetry +
+/// the failed-run trail (empty on a clean pass).
 #[allow(clippy::too_many_arguments)]
 fn bench_json(
     scale: emcc::prelude::WorkloadScale,
@@ -179,6 +218,7 @@ fn bench_json(
     hits: u64,
     misses: u64,
     timings: &[(&str, f64)],
+    failures: &[FailedRun],
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
@@ -189,6 +229,22 @@ fn bench_json(
     let _ = writeln!(s, "  \"cache_misses\": {misses},");
     let _ = writeln!(s, "  \"simulate_seconds\": {sim_secs:.3},");
     let _ = writeln!(s, "  \"total_seconds\": {total_secs:.3},");
+    s.push_str("  \"failed_runs\": [");
+    for (i, f) in failures.iter().enumerate() {
+        let comma = if i + 1 == failures.len() { "" } else { "," };
+        let _ = write!(
+            s,
+            "\n    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"error\": \"{}\"}}{comma}",
+            json_escape(&f.bench),
+            json_escape(&f.scheme),
+            json_escape(&f.error)
+        );
+    }
+    if failures.is_empty() {
+        s.push_str("],\n");
+    } else {
+        s.push_str("\n  ],\n");
+    }
     s.push_str("  \"render_seconds\": {\n");
     for (i, (name, secs)) in timings.iter().enumerate() {
         let comma = if i + 1 == timings.len() { "" } else { "," };
@@ -196,4 +252,21 @@ fn bench_json(
     }
     s.push_str("  }\n}\n");
     s
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -14,8 +14,9 @@
 //! counts and takes tens of minutes for the full suite.
 
 pub mod experiments;
+pub mod fault_campaign;
 pub mod pool;
 pub mod runner;
 
-pub use pool::{jobs_from_env, RunCache, RunRequest};
-pub use runner::{scale_from_env, ExpParams, Harness};
+pub use pool::{jobs_from_env, run_indexed_catching, EnvError, RunCache, RunRequest};
+pub use runner::{scale_from_env, ExpParams, FailedRun, Harness};

@@ -8,6 +8,7 @@
 //! requested runs to ~260 unique simulations at the default scale.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -119,25 +120,61 @@ impl RunCache {
     }
 }
 
+/// A malformed environment-variable override (user input, not a bug —
+/// reported as a typed error instead of a panic so binaries can print an
+/// actionable message and exit cleanly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The offending variable name.
+    pub var: &'static str,
+    /// The value found.
+    pub value: String,
+    /// What a valid value looks like.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?} is invalid: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Prints a configuration error and exits with status 2 (distinct from
+/// 1, which binaries reserve for failed or failed-verdict runs).
+pub(crate) fn exit_config_error(e: &EnvError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2)
+}
+
 /// Number of worker threads: `EMCC_JOBS` override, else available
-/// parallelism.
+/// parallelism. Exits with status 2 on a malformed override.
 pub fn jobs_from_env() -> usize {
-    jobs_from_lookup(|k| std::env::var(k).ok())
+    jobs_from_lookup(|k| std::env::var(k).ok()).unwrap_or_else(|e| exit_config_error(&e))
 }
 
 /// [`jobs_from_env`] with an injected environment lookup (testable
 /// without mutating the process environment).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unparsable or zero `EMCC_JOBS`.
-pub fn jobs_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> usize {
+/// Returns [`EnvError`] on an unparsable or zero `EMCC_JOBS`.
+pub fn jobs_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<usize, EnvError> {
     match lookup("EMCC_JOBS") {
         Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("EMCC_JOBS must be a positive integer, got {v:?}"),
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvError {
+                var: "EMCC_JOBS",
+                value: v,
+                expected: "a positive integer worker count",
+            }),
         },
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
     }
 }
 
@@ -195,6 +232,30 @@ where
         .collect()
 }
 
+/// Crash-isolated [`run_indexed`]: each job runs under `catch_unwind`, so
+/// one panicking simulation becomes an `Err(message)` in its result slot
+/// while every other job still runs to completion.
+///
+/// The standard panic hook still prints the panic to stderr (useful for
+/// diagnosis); only the unwind is contained.
+pub fn run_indexed_catching<T, F>(jobs: usize, workers: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(jobs, workers, |i| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    })
+}
+
 /// Pops the next job for worker `w`: own queue first, then steal from the
 /// longest sibling queue.
 fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
@@ -242,14 +303,48 @@ mod tests {
 
     #[test]
     fn jobs_lookup_parses_and_defaults() {
-        assert_eq!(jobs_from_lookup(|_| Some("3".into())), 3);
-        assert!(jobs_from_lookup(|_| None) >= 1);
+        assert_eq!(jobs_from_lookup(|_| Some("3".into())), Ok(3));
+        assert!(jobs_from_lookup(|_| None).expect("default") >= 1);
     }
 
     #[test]
-    #[should_panic(expected = "EMCC_JOBS")]
-    fn jobs_lookup_rejects_zero() {
-        jobs_from_lookup(|_| Some("0".into()));
+    fn jobs_lookup_rejects_zero_and_garbage_as_typed_errors() {
+        for bad in ["0", "-1", "many", ""] {
+            let err = jobs_from_lookup(|_| Some(bad.into())).unwrap_err();
+            assert_eq!(err.var, "EMCC_JOBS");
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("EMCC_JOBS"), "unhelpful message: {msg}");
+            assert!(msg.contains("positive integer"), "message: {msg}");
+        }
+    }
+
+    #[test]
+    fn catching_pool_isolates_a_panicking_job() {
+        // Quiet hook: the panic is expected; don't spam test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_indexed_catching(8, 4, |i| {
+            if i == 3 {
+                panic!("job {i} exploded");
+            }
+            i * 2
+        });
+        std::panic::set_hook(prev);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(r.as_ref().unwrap_err(), "job 3 exploded");
+            } else {
+                assert_eq!(*r, Ok(i * 2), "job {i} must complete despite job 3");
+            }
+        }
+    }
+
+    #[test]
+    fn catching_pool_is_transparent_without_panics() {
+        let out = run_indexed_catching(5, 2, |i| i + 1);
+        let plain = run_indexed(5, 2, |i| i + 1);
+        assert_eq!(out.into_iter().collect::<Result<Vec<_>, _>>(), Ok(plain));
     }
 
     #[test]

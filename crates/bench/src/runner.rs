@@ -1,9 +1,13 @@
 //! Shared simulation-running and table-rendering helpers.
 
+use std::sync::Mutex;
+
 use emcc::prelude::*;
 use emcc::system::SystemConfig as Cfg;
 
-use crate::pool::{jobs_from_env, run_indexed, RunCache, RunRequest};
+use crate::pool::{
+    exit_config_error, jobs_from_env, run_indexed_catching, EnvError, RunCache, RunRequest,
+};
 
 /// Per-run parameters derived from the chosen scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,7 +40,18 @@ impl ExpParams {
 
     /// Runs one benchmark under a configuration (uncached; prefer
     /// [`Harness::run`] inside experiments so identical runs are shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `EMCC_FORCE_PANIC` names this benchmark (or is `*`) —
+    /// a fault-injection hook for exercising the crash-isolated pool and
+    /// the harness's failed-run telemetry from CI.
     pub fn run(&self, bench: Benchmark, cfg: Cfg) -> SimReport {
+        if let Ok(v) = std::env::var("EMCC_FORCE_PANIC") {
+            if v == "*" || v == bench.name() {
+                panic!("EMCC_FORCE_PANIC: simulated crash in {bench}");
+            }
+        }
         let sources = bench.build_scaled(self.seed, cfg.cores, self.scale);
         SecureSystem::new(cfg).run_with_warmup(sources, self.warmup_ops, self.measure_ops)
     }
@@ -60,6 +75,20 @@ pub struct Harness {
     params: ExpParams,
     jobs: usize,
     cache: RunCache,
+    failures: Mutex<Vec<FailedRun>>,
+}
+
+/// A simulation that panicked inside [`Harness::execute`]: the pool
+/// contained the unwind, the other jobs completed, and this record is the
+/// telemetry trail (surfaced in `BENCH_run_all.json` as `failed_runs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRun {
+    /// Benchmark name of the crashed run.
+    pub bench: String,
+    /// Security scheme of the crashed run.
+    pub scheme: String,
+    /// The panic message.
+    pub error: String,
 }
 
 impl Harness {
@@ -75,6 +104,7 @@ impl Harness {
             params,
             jobs: jobs.max(1),
             cache: RunCache::new(),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -98,6 +128,12 @@ impl Harness {
         self.cache.stats()
     }
 
+    /// Runs that panicked inside [`execute`](Harness::execute) batches so
+    /// far, in request order.
+    pub fn failures(&self) -> Vec<FailedRun> {
+        self.failures.lock().expect("failure list poisoned").clone()
+    }
+
     /// Executes a batch of requests on the pool, memoizing every result.
     ///
     /// Duplicate requests — within the batch or against earlier batches —
@@ -117,11 +153,28 @@ impl Harness {
         self.cache.note_misses(fresh.len() as u64);
 
         let params = self.params;
-        let reports = run_indexed(fresh.len(), self.jobs, |i| {
+        // Crash isolation: a panicking simulation must not take down the
+        // batch. Failed runs become telemetry records instead of cache
+        // entries; the survivors land in the cache as usual.
+        let reports = run_indexed_catching(fresh.len(), self.jobs, |i| {
             params.run(fresh[i].bench, fresh[i].cfg.clone())
         });
         for (req, report) in fresh.into_iter().zip(reports) {
-            self.cache.insert(req.clone(), params, report);
+            match report {
+                Ok(report) => {
+                    self.cache.insert(req.clone(), params, report);
+                }
+                Err(error) => {
+                    self.failures
+                        .lock()
+                        .expect("failure list poisoned")
+                        .push(FailedRun {
+                            bench: req.bench.name(),
+                            scheme: req.cfg.scheme.to_string(),
+                            error,
+                        });
+                }
+            }
         }
     }
 
@@ -141,28 +194,31 @@ impl Harness {
     }
 }
 
-/// Reads `EMCC_SCALE` from the environment (default `small`).
-///
-/// # Panics
-///
-/// Panics on an unrecognized value.
+/// Reads `EMCC_SCALE` from the environment (default `small`). Exits with
+/// status 2 on an unrecognized value.
 pub fn scale_from_env() -> WorkloadScale {
-    scale_from_lookup(|k| std::env::var(k).ok())
+    scale_from_lookup(|k| std::env::var(k).ok()).unwrap_or_else(|e| exit_config_error(&e))
 }
 
 /// [`scale_from_env`] with an injected environment lookup — tests pass a
 /// closure instead of mutating the process environment, which is racy
 /// under the parallel test harness.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unrecognized value.
-pub fn scale_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> WorkloadScale {
+/// Returns [`EnvError`] on an unrecognized value.
+pub fn scale_from_lookup(
+    lookup: impl Fn(&str) -> Option<String>,
+) -> Result<WorkloadScale, EnvError> {
     match lookup("EMCC_SCALE").as_deref() {
-        Some("test") => WorkloadScale::Test,
-        Some("paper") => WorkloadScale::Paper,
-        Some("small") | None => WorkloadScale::Small,
-        Some(other) => panic!("unknown EMCC_SCALE {other:?} (use test|small|paper)"),
+        Some("test") => Ok(WorkloadScale::Test),
+        Some("paper") => Ok(WorkloadScale::Paper),
+        Some("small") | None => Ok(WorkloadScale::Small),
+        Some(other) => Err(EnvError {
+            var: "EMCC_SCALE",
+            value: other.to_string(),
+            expected: "one of test|small|paper",
+        }),
     }
 }
 
@@ -221,21 +277,24 @@ mod tests {
     fn scale_lookup_default_is_small() {
         // Injected lookup: no process-environment mutation (racy under
         // the parallel test harness).
-        assert_eq!(scale_from_lookup(|_| None), WorkloadScale::Small);
+        assert_eq!(scale_from_lookup(|_| None), Ok(WorkloadScale::Small));
         assert_eq!(
             scale_from_lookup(|_| Some("test".into())),
-            WorkloadScale::Test
+            Ok(WorkloadScale::Test)
         );
         assert_eq!(
             scale_from_lookup(|_| Some("paper".into())),
-            WorkloadScale::Paper
+            Ok(WorkloadScale::Paper)
         );
     }
 
     #[test]
-    #[should_panic(expected = "unknown EMCC_SCALE")]
-    fn scale_lookup_rejects_garbage() {
-        scale_from_lookup(|_| Some("huge".into()));
+    fn scale_lookup_rejects_garbage_as_typed_error() {
+        let err = scale_from_lookup(|_| Some("huge".into())).unwrap_err();
+        assert_eq!(err.var, "EMCC_SCALE");
+        assert_eq!(err.value, "huge");
+        let msg = err.to_string();
+        assert!(msg.contains("EMCC_SCALE") && msg.contains("test|small|paper"));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use emcc_counters::CounterDesign;
 use emcc_crypto::CryptoLatencies;
-use emcc_dram::DramConfig;
+use emcc_dram::{DramConfig, FaultConfig};
 use emcc_noc::{Mesh, NocLatency};
-use emcc_secmem::SecurityScheme;
+use emcc_secmem::{RecoveryConfig, SecurityScheme};
 use emcc_sim::time::Frequency;
 use emcc_sim::Time;
 
@@ -168,6 +168,15 @@ pub struct SystemConfig {
     pub max_sim_time: Time,
     /// RNG seed for tie-breaking decisions.
     pub seed: u64,
+    /// Optional DRAM fault injection (fault campaigns); `None` disables
+    /// injection entirely and is behaviorally identical to the seed model.
+    pub fault: Option<FaultConfig>,
+    /// Recovery policy for failed verifications (retry/backoff/fallback).
+    pub recovery: RecoveryConfig,
+    /// Mirror architectural writes into a `FunctionalSecureMemory` shadow
+    /// and diff per-line counter state at the end of the run (differential
+    /// checking for fault campaigns; costs memory, default off).
+    pub shadow_check: bool,
 }
 
 impl SystemConfig {
@@ -205,6 +214,9 @@ impl SystemConfig {
             data_lines: 1 << 31,
             max_sim_time: Time::from_ms(400),
             seed: 0xE3CC,
+            fault: None,
+            recovery: RecoveryConfig::default(),
+            shadow_check: false,
         }
     }
 
@@ -247,6 +259,24 @@ impl SystemConfig {
     /// Builder-style channel-count override (Fig 21/22).
     pub fn with_channels(mut self, channels: usize) -> Self {
         self.dram = DramConfig::table_i(channels);
+        self
+    }
+
+    /// Builder-style fault-injection override (fault campaigns).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style recovery-policy override.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Builder-style shadow differential checking toggle.
+    pub fn with_shadow_check(mut self, on: bool) -> Self {
+        self.shadow_check = on;
         self
     }
 

@@ -5,7 +5,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use emcc_cache::BlockKind;
-use emcc_dram::{Dram, DramRequest, RequestClass};
+use emcc_crypto::DataBlock;
+use emcc_dram::{Dram, DramRequest, FaultModel, RequestClass};
 use emcc_secmem::{AesPool, MetadataCache, OverflowEngine, OverflowTask};
 use emcc_sim::{LineAddr, Time};
 
@@ -61,6 +62,11 @@ pub(crate) struct CtrTxn {
     pub llc_probe_outstanding: bool,
     /// DRAM fetches have been launched.
     pub dram_started: bool,
+    /// Node fetches in the current walk that returned corrupted contents
+    /// (each fails its own per-level MAC check at verification time).
+    pub corrupt: u32,
+    /// Tree re-walks performed after failed verifications.
+    pub retries: u32,
 }
 
 /// MC state owned by the system.
@@ -78,6 +84,9 @@ pub(crate) struct McState {
     pub next_dram_id: u64,
     pub dram: Dram,
     pub deferred_wb: VecDeque<LineAddr>,
+    /// Optional DRAM fault injector, consulted on every demand/metadata
+    /// completion (`None` in fault-free runs — zero behavioral change).
+    pub fault: Option<FaultModel>,
 }
 
 impl SecureSystem {
@@ -115,6 +124,9 @@ impl SecureSystem {
                 Ev::DramDone {
                     id: c.id,
                     row_hit: c.row_hit,
+                    line: c.line,
+                    class: c.class,
+                    is_write: c.is_write,
                 },
             );
         }
@@ -130,19 +142,63 @@ impl SecureSystem {
         }
     }
 
-    pub(crate) fn dram_done(&mut self, id: u64, _row_hit: bool) {
+    pub(crate) fn dram_done(
+        &mut self,
+        id: u64,
+        _row_hit: bool,
+        line: LineAddr,
+        class: RequestClass,
+        is_write: bool,
+    ) {
         let Some(target) = self.mc.dram_targets.remove(&id) else {
             return;
         };
+        // Fault model: writes repair soft faults in the written line;
+        // demand and metadata reads may return corrupted contents.
+        // Overflow re-encryption traffic bypasses the model — its reads
+        // are re-verified by the re-encryption itself.
+        let fault = match self.mc.fault.as_mut() {
+            Some(fm) if is_write => {
+                fm.on_write(line);
+                None
+            }
+            Some(fm)
+                if matches!(
+                    target,
+                    DramTarget::DataRead(_) | DramTarget::NodeFetch { .. }
+                ) =>
+            {
+                fm.on_read(line, class)
+            }
+            _ => None,
+        };
+        if let Some(ev) = fault {
+            if ev.fresh {
+                self.report.faults_injected[ev.class.index()] += 1;
+            }
+        }
         match target {
             DramTarget::DataRead(txn_id) => {
                 self.report.dram_data_reads += 1;
                 if let Some(txn) = self.txns.get_mut(&txn_id) {
                     txn.mc_data_at = Some(self.now);
+                    // Attach the corruption to the transaction; it is
+                    // counted as a consumed faulty read at the point a
+                    // verifier (or unverified delivery) observes it, so
+                    // speculative reads whose data is discarded do not
+                    // skew the detection-rate denominator.
+                    if let Some(ev) = fault {
+                        txn.corrupt = Some(ev.class);
+                    }
                 }
                 self.try_ship_data(txn_id);
             }
             DramTarget::NodeFetch { ctr_block } => {
+                if fault.is_some() {
+                    if let Some(ctr) = self.mc.ctr_txns.get_mut(&ctr_block) {
+                        ctr.corrupt += 1;
+                    }
+                }
                 self.ctr_node_arrived(ctr_block);
             }
             DramTarget::PostedWrite => {}
@@ -265,6 +321,40 @@ impl SecureSystem {
             )
         };
 
+        // MC-side detection: corrupted data cannot pass the MAC compare
+        // that gates a verified ship. Unverified EMCC ships carry the
+        // corruption to the requesting L2, whose local verify catches it.
+        if txn.corrupt.is_some() {
+            if !secure {
+                // No verification exists; the corrupted line is consumed.
+                self.report.faulty_reads += 1;
+                self.report.silent_corruptions += 1;
+                self.txns.get_mut(&txn_id).expect("txn exists").corrupt = None;
+            } else if verified {
+                let retries = txn.retries;
+                self.report.faulty_reads += 1;
+                self.report.integrity_violations += 1;
+                self.report
+                    .detection_latency_ns
+                    .add_time(ship_at.saturating_sub(data_at));
+                let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+                txn.corrupt = None;
+                if self.cfg.recovery.retry.should_retry(retries) {
+                    txn.retries += 1;
+                    txn.mc_data_at = None;
+                    self.report.integrity_retries += 1;
+                    let backoff = self.cfg.recovery.retry.backoff(retries);
+                    self.queue
+                        .push(ship_at + backoff, Ev::DataRefetch { txn: txn_id });
+                    return;
+                }
+                // Retry budget exhausted: deliver the poisoned line
+                // (machine-check semantics — the OS would contain it; the
+                // simulation completes the access so cores never wedge).
+                self.report.integrity_unrecovered += 1;
+            }
+        }
+        let txn = self.txns.get(&txn_id).expect("txn exists");
         let core = txn.core;
         let line = txn.line;
         if verified && secure {
@@ -400,13 +490,112 @@ impl SecureSystem {
         // All nodes here: verify each fetched level (one MAC AES per
         // level, pipelined on the MC pool) then decode the counter.
         let levels = ctr.fetched_levels.max(1);
+        let corrupt = ctr.corrupt;
+        let retries = ctr.retries;
         let mut done = self.now;
         for _ in 0..levels {
             let (_, d) = self.mc.aes.schedule(self.now);
             done = done.max(d);
         }
         let ready = done + self.cfg.crypto.counter_decode;
+        if corrupt > 0 {
+            // Counter/tree detection: each corrupted node fails its own
+            // per-level MAC check at verify time. Recovery invalidates the
+            // cached copy and re-walks the tree after a bounded backoff.
+            self.report.faulty_reads += u64::from(corrupt);
+            self.report.integrity_violations += u64::from(corrupt);
+            for _ in 0..corrupt {
+                self.report
+                    .detection_latency_ns
+                    .add_time(ready.saturating_sub(self.now));
+            }
+            let ctr = self
+                .mc
+                .ctr_txns
+                .get_mut(&ctr_block)
+                .expect("ctr txn exists");
+            ctr.corrupt = 0;
+            if self.cfg.recovery.retry.should_retry(retries) {
+                ctr.retries += 1;
+                self.report.integrity_retries += 1;
+                let backoff = self.cfg.recovery.retry.backoff(retries);
+                self.queue
+                    .push(ready + backoff, Ev::CtrRefetch { block: ctr_block });
+                return;
+            }
+            // Retry budget exhausted: proceed with the unverifiable
+            // counter (machine-check semantics) so waiters never wedge.
+            self.report.integrity_unrecovered += u64::from(corrupt);
+        }
         self.queue.push(ready, Ev::McCtrReady { block: ctr_block });
+    }
+
+    // ----- Fault recovery ----------------------------------------------------
+
+    /// Drops every cached copy of a counter block (MC metadata cache, LLC,
+    /// EMCC L2s) so the next walk re-fetches and re-verifies from DRAM.
+    fn invalidate_ctr_block(&mut self, block: LineAddr) {
+        self.mc.meta.invalidate(block);
+        if self.cfg.scheme.counters_in_llc() {
+            let slice = self.slice_of(block);
+            self.slices[slice].invalidate(block);
+        }
+        if self.cfg.scheme.is_emcc() {
+            for core in 0..self.cfg.cores {
+                if self.l2[core].cache.contains(block) {
+                    self.evict_l2_ctr_line(core, block, true);
+                }
+            }
+        }
+    }
+
+    /// Recovery: re-fetch a data line whose verification failed. The
+    /// covering counter block is invalidated everywhere first, so the
+    /// retry re-walks (and re-verifies) the tree path from DRAM.
+    pub(crate) fn data_refetch(&mut self, txn_id: TxnId) {
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        if txn.done {
+            return;
+        }
+        let line = txn.line;
+        txn.corrupt = None;
+        txn.mc_data_at = None;
+        txn.mc_ctr_ready = None;
+        txn.mc_decrypt = true;
+        txn.shipped_unverified = false;
+        txn.cipher_at = None;
+        txn.aes_done = None;
+        let block = self.ctr_block_of(line);
+        self.invalidate_ctr_block(block);
+        if !self.enqueue_dram(
+            line,
+            false,
+            RequestClass::Data,
+            DramTarget::DataRead(txn_id),
+        ) {
+            // DRAM queue full: retry shortly (same pattern as writes).
+            self.queue.push(
+                self.now + Time::from_ns(50),
+                Ev::DataRefetch { txn: txn_id },
+            );
+            return;
+        }
+        if self.cfg.scheme.is_secure() {
+            self.mc_resolve_counter_for_read(txn_id);
+        }
+    }
+
+    /// Recovery: re-walk the integrity tree for a counter block whose
+    /// verification failed (the resolution stays alive; its waiters are
+    /// released by the eventual `McCtrReady`).
+    pub(crate) fn ctr_refetch(&mut self, block: LineAddr) {
+        if !self.mc.ctr_txns.contains_key(&block) {
+            return;
+        }
+        self.invalidate_ctr_block(block);
+        self.ctr_start_dram_fetch(block);
     }
 
     /// A counter request (or LLC reply) arrives at the MC.
@@ -594,6 +783,11 @@ impl SecureSystem {
             return;
         }
         let block = self.ctr_block_of(line);
+        if let Some(shadow) = self.shadow.as_mut() {
+            // Differential oracle: mirror the write-back so both trees see
+            // exactly one counter increment per write-back.
+            shadow.write(line, DataBlock::from_words([line.get(); 8]));
+        }
         let r = self.tree.increment_data(line);
         self.mc.meta.mark_dirty(block);
 

@@ -1,7 +1,7 @@
 //! Simulation reports: every statistic the paper's figures need.
 
 use emcc_dram::DramStats;
-use emcc_sim::stats::{ratio, RunningMean};
+use emcc_sim::stats::{ratio, Histogram, RunningMean};
 use emcc_sim::Time;
 
 /// Where a data read's counter was found (Figs 6/7 categories, plus the
@@ -113,6 +113,35 @@ pub struct SimReport {
     /// DRAM-side statistics (queuing delay, per-class bus busy — Figs 15
     /// and 22).
     pub dram: DramStats,
+    /// Fault campaigns: DRAM reads that returned corrupted contents
+    /// (fresh injections plus re-reads of still-corrupt lines).
+    pub faulty_reads: u64,
+    /// Fault campaigns: fresh fault injections by `FaultClass::index()`
+    /// (bit-flip, MAC-corrupt, stuck-line, replay, transient-read).
+    pub faults_injected: [u64; 5],
+    /// Verification failures detected (MC-side or L2-side MAC / tree-walk
+    /// mismatches). The ECC-style interrupt count of §IV-D.
+    pub integrity_violations: u64,
+    /// Re-fetch retries issued by the recovery policy.
+    pub integrity_retries: u64,
+    /// Fetches still failing verification after the retry budget —
+    /// surfaced as machine-check events; the line is poisoned.
+    pub integrity_unrecovered: u64,
+    /// EMCC degradation events: L2s that fell back to MC-side
+    /// verification after a failure streak.
+    pub verify_fallbacks: u64,
+    /// Corrupted reads consumed without any verification (NonSecure runs
+    /// only; always 0 under a secure scheme).
+    pub silent_corruptions: u64,
+    /// Latency from corrupted data arriving on-chip to its detection by a
+    /// failed verification, in nanoseconds.
+    pub detection_latency_ns: Histogram,
+    /// Shadow differential checker: written lines compared at the end of
+    /// the run (0 when `shadow_check` is off).
+    pub shadow_lines: u64,
+    /// Shadow differential checker: lines whose timing-model counter state
+    /// diverged from the functional model (must be 0).
+    pub shadow_mismatches: u64,
 }
 
 impl SimReport {
@@ -196,6 +225,12 @@ impl SimReport {
             return 0.0;
         }
         self.dram.bus_busy_for(class).as_ns_f64() / (self.elapsed.as_ns_f64() * channels as f64)
+    }
+
+    /// Fault campaigns: fraction of corrupted reads that triggered a
+    /// verification failure (1.0 = 100% detection; 0.0 when no faults).
+    pub fn detection_rate(&self) -> f64 {
+        ratio(self.integrity_violations, self.faulty_reads)
     }
 
     /// Records a counter sourcing event.

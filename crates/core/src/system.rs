@@ -9,10 +9,11 @@ use std::collections::HashMap;
 
 use emcc_cache::{BlockKind, CacheConfig, MshrFile, MshrOutcome, SetAssocCache};
 use emcc_counters::IntegrityTree;
+use emcc_dram::{FaultClass, FaultModel, RequestClass};
 use emcc_noc::mesh::Node;
 use emcc_noc::SliceMap;
 use emcc_secmem::engine::split_aes_bandwidth;
-use emcc_secmem::{AesPool, MetadataCache, OverflowEngine};
+use emcc_secmem::{AesPool, FunctionalSecureMemory, MetadataCache, OverflowEngine};
 use emcc_sim::{EventQueue, LineAddr, Time};
 use emcc_workloads::TraceSource;
 
@@ -72,7 +73,17 @@ pub(crate) enum Ev {
     /// Run the DRAM schedulers.
     DramPump,
     /// A DRAM access finished.
-    DramDone { id: u64, row_hit: bool },
+    DramDone {
+        id: u64,
+        row_hit: bool,
+        line: LineAddr,
+        class: RequestClass,
+        is_write: bool,
+    },
+    /// Recovery: re-fetch a data line after a failed integrity check.
+    DataRefetch { txn: TxnId },
+    /// Recovery: re-walk the tree for a counter block that failed verify.
+    CtrRefetch { block: LineAddr },
 }
 
 /// Per-line L2 metadata.
@@ -128,6 +139,12 @@ pub(crate) struct L2State {
     pub window_accesses: u64,
     pub window_dram_fills: u64,
     pub emcc_disabled: bool,
+    /// Consecutive local verification failures (reset on a clean finish).
+    pub verify_fail_streak: u32,
+    /// Graceful degradation: local verification has failed repeatedly, so
+    /// new misses are offloaded to MC-side verification (extends §IV-D
+    /// adaptive offload to the fault domain).
+    pub verify_degraded: bool,
 }
 
 /// An in-flight data read (demand or prefetch).
@@ -168,6 +185,11 @@ pub(crate) struct DataTxn {
     pub ctr_source: Option<CtrSource>,
     /// Served from DRAM (vs LLC hit).
     pub from_dram: bool,
+    /// The last DRAM response for this line was corrupted by the fault
+    /// model; cleared when the corruption is detected (or consumed).
+    pub corrupt: Option<FaultClass>,
+    /// Integrity-failure re-fetches performed for this transaction.
+    pub retries: u32,
     pub done: bool,
 }
 
@@ -183,6 +205,10 @@ pub struct SecureSystem {
     pub(crate) slice_map: SliceMap,
     pub(crate) mc: McState,
     pub(crate) tree: IntegrityTree,
+    /// Differential oracle: a functional secure memory that mirrors every
+    /// write-back, letting `finalize` diff per-line counter state against
+    /// the timing model (enabled by `SystemConfig::shadow_check`).
+    pub(crate) shadow: Option<FunctionalSecureMemory>,
     pub(crate) xpt: Vec<XptPredictor>,
     pub(crate) txns: HashMap<TxnId, DataTxn>,
     pub(crate) next_txn: TxnId,
@@ -231,6 +257,8 @@ impl SecureSystem {
                 window_accesses: 0,
                 window_dram_fills: 0,
                 emcc_disabled: false,
+                verify_fail_streak: 0,
+                verify_degraded: false,
             })
             .collect();
         let slices = (0..cfg.llc_slices)
@@ -246,6 +274,7 @@ impl SecureSystem {
             next_dram_id: 1,
             dram: emcc_dram::Dram::new(cfg.dram),
             deferred_wb: std::collections::VecDeque::new(),
+            fault: cfg.fault.clone().map(FaultModel::new),
         };
         SecureSystem {
             l1: (0..cfg.cores)
@@ -258,6 +287,9 @@ impl SecureSystem {
             l2,
             slices,
             mc,
+            shadow: cfg.shadow_check.then(|| {
+                FunctionalSecureMemory::with_design(cfg.seed, cfg.data_lines, cfg.counter_design)
+            }),
             queue: EventQueue::with_capacity(1 << 16),
             now: Time::ZERO,
             txns: HashMap::new(),
@@ -385,6 +417,17 @@ impl SecureSystem {
         self.report.overflows_l0 = of.first().copied().unwrap_or(0);
         self.report.overflows_higher = of.iter().skip(1).sum();
         self.report.overflow_stalls = self.mc.overflow.rejected();
+        // Differential check: every written line's counter in the timing
+        // model's tree must equal the functional oracle's (both saw the
+        // same write-back sequence, one increment per write-back).
+        if let Some(shadow) = &self.shadow {
+            for line in shadow.written_lines() {
+                self.report.shadow_lines += 1;
+                if shadow.tree().data_counter(line) != self.tree.data_counter(line) {
+                    self.report.shadow_mismatches += 1;
+                }
+            }
+        }
         // Counter lines still resident at simulation end are *not*
         // classified: the paper's Fig 11 counts lines "never used ...
         // between the time the counter is inserted into L2 and is evicted
@@ -422,7 +465,15 @@ impl SecureSystem {
                 self.dram_pump_at = None;
                 self.pump_dram();
             }
-            Ev::DramDone { id, row_hit } => self.dram_done(id, row_hit),
+            Ev::DramDone {
+                id,
+                row_hit,
+                line,
+                class,
+                is_write,
+            } => self.dram_done(id, row_hit, line, class, is_write),
+            Ev::DataRefetch { txn } => self.data_refetch(txn),
+            Ev::CtrRefetch { block } => self.ctr_refetch(block),
         }
     }
 
@@ -576,9 +627,12 @@ impl SecureSystem {
         let mut offload_bit = false;
         let mut reserved_aes = false;
         if self.cfg.scheme.is_emcc() {
-            if self.l2[core].emcc_disabled {
+            if self.l2[core].emcc_disabled || self.l2[core].verify_degraded {
                 // §IV-F: the application is not memory-intensive; keep
                 // everything at the MC (no counter caching, no L2 AES).
+                // The same path implements graceful degradation: an L2
+                // whose local verification keeps failing hands all new
+                // misses to MC-side verification.
                 offload_bit = true;
             } else if let Some(pool) = &self.l2[core].aes {
                 let effective =
@@ -621,6 +675,8 @@ impl SecureSystem {
                 mc_data_at: None,
                 ctr_source: None,
                 from_dram: false,
+                corrupt: None,
+                retries: 0,
                 done: false,
             },
         );
@@ -968,14 +1024,54 @@ impl SecureSystem {
         if txn.done {
             return;
         }
+        let core = txn.core;
+        if txn.corrupt.is_some() {
+            // L2-side detection: the locally recomputed MAC half cannot
+            // match corrupted ciphertext. Count, then either retry via the
+            // MC-verified path or deliver the poisoned line (machine-check
+            // semantics) once the retry budget is exhausted.
+            let cipher_at = txn.cipher_at.unwrap_or(self.now);
+            let retries = txn.retries;
+            self.report.faulty_reads += 1;
+            self.report.integrity_violations += 1;
+            self.report
+                .detection_latency_ns
+                .add_time(self.now.saturating_sub(cipher_at));
+            self.l2[core].verify_fail_streak += 1;
+            if !self.l2[core].verify_degraded
+                && self.l2[core].verify_fail_streak >= self.cfg.recovery.l2_fallback_threshold
+            {
+                self.l2[core].verify_degraded = true;
+                self.report.verify_fallbacks += 1;
+            }
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.corrupt = None;
+            if self.cfg.recovery.retry.should_retry(retries) {
+                // Hand the retry to the MC-verified path so the refetched
+                // line is checked end-to-end before it reaches this L2.
+                txn.retries += 1;
+                txn.mc_decrypt = true;
+                txn.shipped_unverified = false;
+                txn.cipher_at = None;
+                txn.aes_done = None;
+                self.report.integrity_retries += 1;
+                let backoff = self.cfg.recovery.retry.backoff(retries);
+                self.queue
+                    .push(self.now + backoff, Ev::DataRefetch { txn: txn_id });
+                return;
+            }
+            self.report.integrity_unrecovered += 1;
+        } else {
+            self.l2[core].verify_fail_streak = 0;
+        }
         self.report.decrypted_at_l2 += 1;
+        let txn = self.txns.get(&txn_id).expect("txn exists");
         if let Some(cipher_at) = txn.cipher_at {
             self.report
                 .l2_finish_wait_ns
                 .add_time(self.now.saturating_sub(cipher_at));
         }
         // Mark the supplying counter line as used (Fig 11 accounting).
-        let core = txn.core;
         let line = txn.line;
         if txn.l2_ctr_ready.is_some() {
             let cb_idx = self.tree.geometry().counter_block_of(line);

@@ -29,12 +29,14 @@
 
 pub mod channel;
 pub mod config;
+pub mod fault;
 pub mod mapping;
 pub mod request;
 pub mod stats;
 
 pub use channel::{Completion, PumpResult};
 pub use config::DramConfig;
+pub use fault::{FaultClass, FaultConfig, FaultEvent, FaultModel, FaultStats, PlantedFault};
 pub use mapping::AddressMapping;
 pub use request::{DramRequest, RequestClass, RequestId};
 pub use stats::DramStats;

@@ -87,6 +87,14 @@ impl MetadataCache {
         self.cache.mark_dirty(addr)
     }
 
+    /// Drops a block from the cache, returning whether it was resident —
+    /// used by the recovery path to discard possibly-stale metadata before
+    /// re-walking the integrity tree. The copy is discarded even if dirty:
+    /// a verification failure means its contents cannot be trusted.
+    pub fn invalidate(&mut self, addr: LineAddr) -> bool {
+        self.cache.invalidate(addr).is_some()
+    }
+
     /// Clears hit/miss statistics (contents are preserved).
     pub fn reset_stats(&mut self) {
         self.hits = 0;

@@ -26,6 +26,15 @@ pub enum ReadError {
         /// The offending line.
         line: LineAddr,
     },
+    /// An integrity-tree node on the line's verification path failed its
+    /// MAC check: counter-block or tree-node tampering detected during the
+    /// tree walk.
+    TreeMismatch {
+        /// Tree level of the corrupt node (0 = counter blocks).
+        level: u32,
+        /// Node index within its level.
+        index: u64,
+    },
 }
 
 impl std::fmt::Display for ReadError {
@@ -33,6 +42,9 @@ impl std::fmt::Display for ReadError {
         match self {
             ReadError::MacMismatch { line } => {
                 write!(f, "integrity violation detected at line {line}")
+            }
+            ReadError::TreeMismatch { level, index } => {
+                write!(f, "integrity-tree violation at level {level} node {index}")
             }
         }
     }
@@ -77,6 +89,13 @@ pub struct FunctionalSecureMemory {
     tree: IntegrityTree,
     store: HashMap<LineAddr, StoredLine>,
     reencrypted_lines: u64,
+    /// Tamper state for integrity-tree nodes, keyed by `(level, index)`.
+    /// An XOR mask over the node's 512-bit image models corrupted node
+    /// contents in DRAM; nodes without an entry are intact.
+    node_masks: HashMap<(u32, u64), [u64; 8]>,
+    /// Stored-MAC overrides for tampered tree nodes; absent means the MAC
+    /// in "DRAM" is the correct MAC of the intact node image.
+    node_macs: HashMap<(u32, u64), Mac56>,
 }
 
 impl FunctionalSecureMemory {
@@ -92,6 +111,8 @@ impl FunctionalSecureMemory {
             tree: IntegrityTree::new(design, data_lines),
             store: HashMap::new(),
             reencrypted_lines: 0,
+            node_masks: HashMap::new(),
+            node_macs: HashMap::new(),
         }
     }
 
@@ -136,6 +157,16 @@ impl FunctionalSecureMemory {
             }
         }
         self.store_encrypted(line, plain, r.new_counter);
+
+        // The write updates the metadata blocks along this line's path, so
+        // hardware re-MACs them as it goes: any prior node tampering on the
+        // path is overwritten (mirrors data tampering being repaired by a
+        // rewrite of the line).
+        for addr in self.tree.geometry().verification_path(line) {
+            let key = self.tree.geometry().node_of_addr(addr);
+            self.node_masks.remove(&key);
+            self.node_macs.remove(&key);
+        }
     }
 
     /// Reads and verifies a block.
@@ -214,6 +245,143 @@ impl FunctionalSecureMemory {
     /// Panics if the line was never written.
     pub fn tamper_mac(&mut self, line: LineAddr, mac: Mac56) {
         self.store.get_mut(&line).expect("line must exist").mac = mac;
+    }
+
+    /// Attack: flip one bit of the stored 56-bit MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was never written or `bit >= 56`.
+    pub fn tamper_mac_flip_bit(&mut self, line: LineAddr, bit: usize) {
+        assert!(bit < 56, "MAC has 56 bits");
+        let s = self.store.get_mut(&line).expect("line must exist");
+        s.mac = Mac56::from_u64(s.mac.as_u64() ^ (1 << bit));
+    }
+
+    /// Attack: corrupt an integrity-tree node as stored in DRAM. Bits
+    /// `0..512` flip the node's 512-bit counter image; bits `512..568`
+    /// flip the node's co-located 56-bit MAC.
+    ///
+    /// Detected by [`Self::verify_path`] for any data line whose path
+    /// includes the node, until a write to such a line rewrites the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level`/`index` are out of range or `bit >= 568`.
+    pub fn tamper_tree_flip_bit(&mut self, level: u32, index: u64, bit: usize) {
+        // Range-check through the geometry.
+        let _ = self.tree.geometry().node_addr(level, index);
+        let key = (level, index);
+        if bit < 512 {
+            let mask = self.node_masks.entry(key).or_insert([0u64; 8]);
+            mask[bit / 64] ^= 1 << (bit % 64);
+        } else {
+            assert!(bit < 568, "node line is 512 image bits + 56 MAC bits");
+            let current = self
+                .node_macs
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| self.intact_node_mac(level, index));
+            self.node_macs
+                .insert(key, Mac56::from_u64(current.as_u64() ^ (1 << (bit - 512))));
+        }
+    }
+
+    /// Walks the integrity tree from the line's counter block to the root,
+    /// verifying each node's stored MAC against its observed contents —
+    /// the functional analogue of the MC's tree walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::TreeMismatch`] naming the first corrupt node,
+    /// from the leaves upward.
+    pub fn verify_path(&self, line: LineAddr) -> Result<(), ReadError> {
+        for addr in self.tree.geometry().verification_path(line) {
+            let (level, index) = self.tree.geometry().node_of_addr(addr);
+            let observed = self.observed_node_image(level, index);
+            let stored_mac = self
+                .node_macs
+                .get(&(level, index))
+                .copied()
+                .unwrap_or_else(|| self.intact_node_mac(level, index));
+            let recomputed = self.keys.mac_block(
+                addr.base().get(),
+                self.tree.node_counter(level, index),
+                &DataBlock::from_words(observed),
+            );
+            if recomputed != stored_mac {
+                return Err(ReadError::TreeMismatch { level, index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tree-walk verification followed by the data read — the full check a
+    /// cold miss performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the tree failure if any path node is corrupt, else any data
+    /// MAC failure from [`Self::read`].
+    pub fn read_checked(&self, line: LineAddr) -> Result<DataBlock, ReadError> {
+        self.verify_path(line)?;
+        self.read(line)
+    }
+
+    /// Every line that has been written, in ascending order — the domain a
+    /// differential checker must compare.
+    pub fn written_lines(&self) -> Vec<LineAddr> {
+        let mut lines: Vec<LineAddr> = self.store.keys().copied().collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// The node's intact 512-bit image: a deterministic packing of the
+    /// counters it stores (data counters at level 0, child node counters
+    /// above). Any single counter change flips image bits.
+    fn intact_node_image(&self, level: u32, index: u64) -> [u64; 8] {
+        fn mix(c: u64, slot: u64) -> u64 {
+            let mut z = c ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let g = self.tree.geometry();
+        let arity = g.design().coverage();
+        let mut img = [0u64; 8];
+        for slot in 0..arity {
+            let c = if level == 0 {
+                self.tree.data_counter(LineAddr::new(index * arity + slot))
+            } else {
+                let child = index * arity + slot;
+                if child >= g.blocks_at_level(level - 1) {
+                    continue;
+                }
+                self.tree.node_counter(level - 1, child)
+            };
+            img[(slot % 8) as usize] ^= mix(c, slot);
+        }
+        img
+    }
+
+    fn observed_node_image(&self, level: u32, index: u64) -> [u64; 8] {
+        let mut img = self.intact_node_image(level, index);
+        if let Some(mask) = self.node_masks.get(&(level, index)) {
+            for (w, m) in img.iter_mut().zip(mask) {
+                *w ^= m;
+            }
+        }
+        img
+    }
+
+    /// The MAC hardware would have stored for the node's intact contents.
+    fn intact_node_mac(&self, level: u32, index: u64) -> Mac56 {
+        let addr = self.tree.geometry().node_addr(level, index);
+        self.keys.mac_block(
+            addr.base().get(),
+            self.tree.node_counter(level, index),
+            &DataBlock::from_words(self.intact_node_image(level, index)),
+        )
     }
 
     fn covered_lines(&self, line: LineAddr) -> impl Iterator<Item = LineAddr> {
@@ -362,6 +530,102 @@ mod tests {
         for i in 0..128u64 {
             assert_eq!(m.read(LineAddr::new(i)).unwrap(), block(i + 1000));
         }
+    }
+
+    #[test]
+    fn mac_bit_flip_detected() {
+        let mut m = FunctionalSecureMemory::new(2, 1 << 16);
+        let l = LineAddr::new(6);
+        m.write(l, block(3));
+        m.tamper_mac_flip_bit(l, 55);
+        assert!(m.read(l).is_err());
+        assert!(m.read_split(l).is_err());
+    }
+
+    #[test]
+    fn clean_path_verifies_at_every_level() {
+        let mut m = FunctionalSecureMemory::new(4, 1 << 16);
+        for i in 0..40u64 {
+            m.write(LineAddr::new(i * 7), block(i));
+        }
+        for i in 0..40u64 {
+            let l = LineAddr::new(i * 7);
+            assert_eq!(m.verify_path(l), Ok(()));
+            assert_eq!(m.read_checked(l).unwrap(), block(i));
+        }
+    }
+
+    #[test]
+    fn tree_node_tamper_detected_at_each_level() {
+        // 1 << 16 lines under Morphable: L0 = 512 blocks, L1 = 4, + root.
+        let mut m = FunctionalSecureMemory::new(4, 1 << 16);
+        let l = LineAddr::new(200);
+        m.write(l, block(1));
+        let levels = m.tree().geometry().num_levels();
+        assert!(levels >= 2, "need a multi-level tree for this test");
+        for level in 0..levels {
+            let mut probe = m.clone();
+            let idx = if level == 0 {
+                probe.tree().geometry().counter_block_of(l)
+            } else {
+                // Walk the path up to this level's node index.
+                let mut i = probe.tree().geometry().counter_block_of(l);
+                for _ in 0..level {
+                    i /= probe.tree().geometry().design().coverage();
+                }
+                i
+            };
+            probe.tamper_tree_flip_bit(level, idx, 17);
+            assert_eq!(
+                probe.verify_path(l),
+                Err(ReadError::TreeMismatch { level, index: idx }),
+                "image corruption at level {level} must be detected"
+            );
+            // MAC-side corruption of the same node.
+            let mut probe = m.clone();
+            probe.tamper_tree_flip_bit(level, idx, 512);
+            assert!(probe.verify_path(l).is_err());
+        }
+    }
+
+    #[test]
+    fn tree_tamper_off_path_not_reported() {
+        let mut m = FunctionalSecureMemory::new(4, 1 << 16);
+        let l = LineAddr::new(0);
+        m.write(l, block(1));
+        // Corrupt a counter block far from line 0's path.
+        m.tamper_tree_flip_bit(0, 300, 5);
+        assert_eq!(m.verify_path(l), Ok(()));
+    }
+
+    #[test]
+    fn write_repairs_tree_tamper_on_its_path() {
+        let mut m = FunctionalSecureMemory::new(4, 1 << 16);
+        let l = LineAddr::new(9);
+        m.write(l, block(1));
+        let cb = m.tree().geometry().counter_block_of(l);
+        m.tamper_tree_flip_bit(0, cb, 3);
+        assert!(m.verify_path(l).is_err());
+        m.write(l, block(2));
+        assert_eq!(m.verify_path(l), Ok(()));
+        assert_eq!(m.read_checked(l).unwrap(), block(2));
+    }
+
+    #[test]
+    fn written_lines_sorted_and_complete() {
+        let mut m = FunctionalSecureMemory::new(4, 1 << 16);
+        for l in [9u64, 2, 40, 7] {
+            m.write(LineAddr::new(l), block(l));
+        }
+        assert_eq!(
+            m.written_lines(),
+            vec![
+                LineAddr::new(2),
+                LineAddr::new(7),
+                LineAddr::new(9),
+                LineAddr::new(40)
+            ]
+        );
     }
 
     #[test]

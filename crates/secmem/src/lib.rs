@@ -34,9 +34,11 @@ pub mod engine;
 pub mod functional;
 pub mod overflow;
 pub mod scheme;
+pub mod verify;
 
 pub use counter_cache::MetadataCache;
 pub use engine::AesPool;
 pub use functional::{FunctionalSecureMemory, ReadError};
 pub use overflow::{OverflowEngine, OverflowTask};
 pub use scheme::SecurityScheme;
+pub use verify::{RecoveryConfig, RetryPolicy, VerifyOutcome};

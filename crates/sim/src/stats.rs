@@ -120,6 +120,15 @@ pub struct Histogram {
     mean: RunningMean,
 }
 
+impl Default for Histogram {
+    /// A general-purpose latency histogram: 64 bins × 8 ns from 0 (covers
+    /// 0–512 ns with overflow beyond), suitable as a field default in
+    /// report structs that derive `Default`.
+    fn default() -> Self {
+        Histogram::new(0.0, 8.0, 64)
+    }
+}
+
 impl Histogram {
     /// Creates a histogram with `nbins` bins of `width` starting at `origin`.
     ///

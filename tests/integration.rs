@@ -225,3 +225,28 @@ fn reports_are_internally_consistent() {
     // L2 hits + misses = L2 accesses for data.
     assert!(r.l2_hits <= r.l2_accesses);
 }
+
+#[test]
+fn timing_counters_match_functional_model_for_every_design() {
+    // Differential check: after a mixed read/write trace, the timing
+    // model's per-line data counters must equal the counters an
+    // order-accurate functional secure memory derives from the same
+    // write-back sequence — for all three counter designs. The shadow
+    // checker mirrors every MC write-back into a FunctionalSecureMemory
+    // and diffs tree state at finalize.
+    use emcc::counters::CounterDesign;
+
+    for design in CounterDesign::all() {
+        let mut cfg = SystemConfig::table_i(SecurityScheme::Emcc).with_shadow_check(true);
+        cfg.counter_design = design;
+        // Shrink the hierarchy so dirty lines actually reach DRAM.
+        cfg.l2_size = 128 * 1024;
+        cfg.llc_slice_size = 32 * 1024;
+        let r = run(Benchmark::Mcf, cfg);
+        assert!(r.shadow_lines > 0, "{design:?}: no write-backs mirrored");
+        assert_eq!(
+            r.shadow_mismatches, 0,
+            "{design:?}: timing counters diverged from the functional model"
+        );
+    }
+}

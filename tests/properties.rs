@@ -153,6 +153,81 @@ proptest! {
         }
     }
 
+    /// Any single-bit flip of a stored line's ciphertext is detected, and
+    /// the split read (OTP first, as EMCC overlaps it with the data fetch)
+    /// agrees with the monolithic verdict.
+    #[test]
+    fn stored_cipher_bit_flip_detected(
+        line in 0u64..512,
+        bit in 0usize..512,
+        value in any::<u64>(),
+    ) {
+        let mut m = FunctionalSecureMemory::new(3, 1 << 10);
+        let la = LineAddr::new(line);
+        m.write(la, DataBlock::from_words([value; 8]));
+        m.tamper_flip_bit(la, bit);
+        prop_assert!(m.read(la).is_err());
+        prop_assert!(m.read_split(la).is_err());
+    }
+
+    /// Any single-bit flip of a stored line's 56-bit MAC is detected.
+    #[test]
+    fn stored_mac_bit_flip_detected(
+        line in 0u64..512,
+        bit in 0usize..56,
+        value in any::<u64>(),
+    ) {
+        let mut m = FunctionalSecureMemory::new(5, 1 << 10);
+        let la = LineAddr::new(line);
+        m.write(la, DataBlock::from_words([value; 8]));
+        m.tamper_mac_flip_bit(la, bit);
+        prop_assert!(m.read(la).is_err());
+        prop_assert!(m.read_split(la).is_err());
+    }
+
+    /// Any single-bit flip of any node on a line's verification path — at
+    /// any tree level, in the node image or its co-located MAC — fails the
+    /// tree walk, for every counter design.
+    #[test]
+    fn tree_bit_flip_detected_at_every_level(
+        line in 0u64..(1 << 14),
+        path_step in 0usize..8,
+        bit in 0usize..568,
+        design_idx in 0usize..3,
+    ) {
+        let design = CounterDesign::all()[design_idx];
+        let mut m = FunctionalSecureMemory::with_design(9, 1 << 14, design);
+        let la = LineAddr::new(line);
+        m.write(la, DataBlock::from_words([0xF00D; 8]));
+        let g = m.tree().geometry();
+        let path = g.verification_path(la);
+        let (level, index) = g.node_of_addr(path[path_step % path.len()]);
+        prop_assert!(m.verify_path(la).is_ok(), "clean path must verify");
+        m.tamper_tree_flip_bit(level, index, bit);
+        prop_assert!(m.verify_path(la).is_err(), "level {} missed", level);
+        prop_assert!(m.read_checked(la).is_err());
+    }
+
+    /// A replayed stale snapshot is detected no matter how many writes
+    /// advanced the counter since the capture (anti-rollback).
+    #[test]
+    fn replay_detected_after_rewrites(
+        line in 0u64..256,
+        rewrites in 1usize..8,
+        value in any::<u64>(),
+    ) {
+        let mut m = FunctionalSecureMemory::new(13, 1 << 10);
+        let la = LineAddr::new(line);
+        m.write(la, DataBlock::from_words([value; 8]));
+        let stale = m.raw(la).expect("line just written");
+        for i in 0..rewrites {
+            m.write(la, DataBlock::from_words([value ^ (i as u64 + 1); 8]));
+        }
+        m.tamper_replay(la, stale);
+        prop_assert!(m.read(la).is_err());
+        prop_assert!(m.read_split(la).is_err());
+    }
+
     /// Time arithmetic: saturating subtraction never underflows and
     /// max/min are consistent.
     #[test]
