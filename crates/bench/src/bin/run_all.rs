@@ -5,6 +5,10 @@
 //! EMCC_SCALE=small EMCC_JOBS=4 cargo run --release -p emcc-bench --bin run_all
 //! ```
 //!
+//! `--smoke` forces `Test` scale regardless of `EMCC_SCALE` — the fast,
+//! deterministic pass CI diffs against the committed snapshot
+//! (`crates/bench/tests/snapshots/run_all_smoke.txt`).
+//!
 //! Two phases:
 //!
 //! 1. **Schedule** — every figure declares its run-matrix as
@@ -20,10 +24,25 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use emcc_bench::{experiments, FailedRun, Harness};
+use emcc::prelude::WorkloadScale;
+use emcc_bench::{experiments, ExpParams, FailedRun, Harness};
 
 fn main() {
-    let h = Harness::from_env();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown flag {other}\nusage: run_all [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let h = if smoke {
+        Harness::new(ExpParams::for_scale(WorkloadScale::Test))
+    } else {
+        Harness::from_env()
+    };
     let scale = h.params().scale;
     let t0 = Instant::now();
     println!(

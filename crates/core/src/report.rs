@@ -243,6 +243,170 @@ impl SimReport {
         };
         self.ctr_source[i] += 1;
     }
+
+    /// Canonical JSON rendering of every field, for golden-report
+    /// snapshots and determinism digests.
+    ///
+    /// The encoding is bit-stable: keys appear in declaration order,
+    /// times are integral picoseconds, and floats use Rust's
+    /// shortest-roundtrip `Display` (identical text for identical bits).
+    /// Two runs are behaviourally identical iff their canonical JSON is
+    /// byte-identical.
+    pub fn canonical_json(&self) -> String {
+        fn s(out: &mut String, key: &str, val: &str) {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(val);
+            out.push_str(",\n");
+        }
+        fn u(out: &mut String, key: &str, val: u64) {
+            s(out, key, &val.to_string());
+        }
+        fn f(out: &mut String, key: &str, val: f64) {
+            s(out, key, &format!("{val}"));
+        }
+        fn mean(out: &mut String, key: &str, m: &RunningMean) {
+            let fmt_opt = |o: Option<f64>| match o {
+                Some(v) => format!("{v}"),
+                None => "null".to_string(),
+            };
+            s(
+                out,
+                key,
+                &format!(
+                    "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                    m.count(),
+                    m.sum(),
+                    fmt_opt(m.min()),
+                    fmt_opt(m.max()),
+                ),
+            );
+        }
+        let mut out = String::from("{\n");
+        s(
+            &mut out,
+            "benchmark",
+            &format!("{:?}", self.benchmark.as_str()),
+        );
+        s(&mut out, "scheme", &format!("{:?}", self.scheme.as_str()));
+        u(&mut out, "elapsed_ps", self.elapsed.as_ps());
+        u(&mut out, "instructions", self.instructions);
+        u(&mut out, "mem_ops", self.mem_ops);
+        u(&mut out, "l1_hits", self.l1_hits);
+        u(&mut out, "l2_accesses", self.l2_accesses);
+        u(&mut out, "l2_hits", self.l2_hits);
+        u(&mut out, "l2_data_misses", self.l2_data_misses);
+        u(&mut out, "llc_data_hits", self.llc_data_hits);
+        u(&mut out, "llc_data_misses", self.llc_data_misses);
+        u(&mut out, "dram_data_reads", self.dram_data_reads);
+        u(&mut out, "writebacks", self.writebacks);
+        mean(&mut out, "l2_miss_latency_ns", &self.l2_miss_latency_ns);
+        mean(
+            &mut out,
+            "secure_access_latency_ns",
+            &self.secure_access_latency_ns,
+        );
+        let src = self.ctr_source;
+        s(
+            &mut out,
+            "ctr_source",
+            &format!("[{}, {}, {}, {}]", src[0], src[1], src[2], src[3]),
+        );
+        u(&mut out, "l2_ctr_reqs_to_llc", self.l2_ctr_reqs_to_llc);
+        u(&mut out, "mc_ctr_reqs_to_llc", self.mc_ctr_reqs_to_llc);
+        u(&mut out, "l2_ctr_insertions", self.l2_ctr_insertions);
+        u(&mut out, "l2_ctr_invalidations", self.l2_ctr_invalidations);
+        u(&mut out, "l2_ctr_useless", self.l2_ctr_useless);
+        u(&mut out, "l2_ctr_useful", self.l2_ctr_useful);
+        u(&mut out, "decrypted_at_l2", self.decrypted_at_l2);
+        u(&mut out, "decrypted_at_mc", self.decrypted_at_mc);
+        u(
+            &mut out,
+            "offloaded_for_bandwidth",
+            self.offloaded_for_bandwidth,
+        );
+        u(&mut out, "xpt_forwards", self.xpt_forwards);
+        u(&mut out, "xpt_wasted", self.xpt_wasted);
+        u(&mut out, "overflows_l0", self.overflows_l0);
+        u(&mut out, "overflows_higher", self.overflows_higher);
+        u(&mut out, "overflow_stalls", self.overflow_stalls);
+        u(&mut out, "prefetches", self.prefetches);
+        mean(&mut out, "l2_finish_wait_ns", &self.l2_finish_wait_ns);
+        mean(&mut out, "l2_aes_queue_ns", &self.l2_aes_queue_ns);
+        u(&mut out, "l2_ctr_lines_peak", self.l2_ctr_lines_peak);
+        u(
+            &mut out,
+            "emcc_disabled_windows",
+            self.emcc_disabled_windows,
+        );
+        u(
+            &mut out,
+            "llc_unverified_inserts",
+            self.llc_unverified_inserts,
+        );
+        u(&mut out, "llc_unverified_hits", self.llc_unverified_hits);
+        u(
+            &mut out,
+            "inclusive_back_invals",
+            self.inclusive_back_invals,
+        );
+        for class in [
+            emcc_dram::RequestClass::Data,
+            emcc_dram::RequestClass::Counter,
+            emcc_dram::RequestClass::TreeNode,
+            emcc_dram::RequestClass::OverflowL0,
+            emcc_dram::RequestClass::OverflowHigher,
+        ] {
+            let key = format!("dram_{:?}", class).to_lowercase();
+            s(
+                &mut out,
+                &format!("{key}_count"),
+                &self.dram.count_for(class).to_string(),
+            );
+            s(
+                &mut out,
+                &format!("{key}_bus_busy_ps"),
+                &self.dram.bus_busy_for(class).as_ps().to_string(),
+            );
+        }
+        u(&mut out, "dram_row_hits", self.dram.row_hits);
+        u(&mut out, "dram_row_opens", self.dram.row_opens);
+        u(&mut out, "dram_row_conflicts", self.dram.row_conflicts);
+        u(&mut out, "faulty_reads", self.faulty_reads);
+        let fi = self.faults_injected;
+        s(
+            &mut out,
+            "faults_injected",
+            &format!("[{}, {}, {}, {}, {}]", fi[0], fi[1], fi[2], fi[3], fi[4]),
+        );
+        u(&mut out, "integrity_violations", self.integrity_violations);
+        u(&mut out, "integrity_retries", self.integrity_retries);
+        u(
+            &mut out,
+            "integrity_unrecovered",
+            self.integrity_unrecovered,
+        );
+        u(&mut out, "verify_fallbacks", self.verify_fallbacks);
+        u(&mut out, "silent_corruptions", self.silent_corruptions);
+        let h = &self.detection_latency_ns;
+        let bins: Vec<String> = (0..h.num_bins())
+            .map(|i| h.bin_count(i).to_string())
+            .collect();
+        s(
+            &mut out,
+            "detection_latency_bins",
+            &format!("[{}]", bins.join(", ")),
+        );
+        u(&mut out, "detection_latency_overflow", h.overflow());
+        f(&mut out, "detection_latency_mean", h.mean());
+        u(&mut out, "shadow_lines", self.shadow_lines);
+        u(&mut out, "shadow_mismatches", self.shadow_mismatches);
+        // Replace the trailing ",\n" with a clean close.
+        out.truncate(out.len() - 2);
+        out.push_str("\n}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +446,31 @@ mod tests {
             ..SimReport::default()
         };
         assert!((r.ipc() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_complete() {
+        let mut r = SimReport {
+            benchmark: "bfs \"x\"".into(),
+            scheme: "emcc".into(),
+            elapsed: Time::from_ns(12),
+            mem_ops: 7,
+            ..SimReport::default()
+        };
+        r.l2_miss_latency_ns.add(3.5);
+        let a = r.canonical_json();
+        let b = r.canonical_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"benchmark\": \"bfs \\\"x\\\"\""));
+        assert!(a.contains("\"elapsed_ps\": 12000"));
+        assert!(a.contains("\"mem_ops\": 7"));
+        assert!(a.contains("\"sum\": 3.5"));
+        assert!(a.contains("\"shadow_mismatches\": 0"));
+        assert!(a.ends_with("}\n") && a.starts_with("{\n"));
+        // Differing reports must differ textually.
+        let mut r2 = r.clone();
+        r2.mem_ops = 8;
+        assert_ne!(a, r2.canonical_json());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Parallel fuzz campaigns over the oracle battery.
+//!
+//! ```text
+//! fuzz_sim [--cases N] [--seed S] [--smoke] [--out FILE]
+//!          [--corpus-dir DIR] [--replay FILE]
+//!          [--emit FILE --case-seed S]
+//! ```
+//!
+//! Case `i` of a campaign fuzzes `FuzzCase::generate(mix(seed, i))`; the
+//! verdict file lists one line per case in index order, so it is
+//! byte-identical for any `EMCC_JOBS` (workers only affect scheduling,
+//! never content — the same guarantee `run_all` makes).
+//!
+//! `--emit` materializes the case for one *case seed* (the `seed` column
+//! of a verdict line) as a corpus file, so any campaign case can be
+//! turned into a replayable regression file after the fact.
+//!
+//! On the first oracle failure the offending case is shrunk to a minimal
+//! reproducer, persisted under the corpus directory, and the process
+//! exits 1; `cargo test -p emcc-fuzz` then replays the corpus red until
+//! the bug is fixed. Exit 2 is reserved for configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use emcc_bench::{jobs_from_env, run_indexed_catching};
+use emcc_fuzz::oracle::check_case;
+use emcc_fuzz::{corpus, FuzzCase};
+use proptest::shrink::minimize;
+
+/// Shrink budget: candidates tested before accepting the current minimum.
+const SHRINK_BUDGET: usize = 3_000;
+
+struct Args {
+    cases: usize,
+    seed: u64,
+    out: PathBuf,
+    corpus_dir: PathBuf,
+    replay: Option<PathBuf>,
+    emit: Option<PathBuf>,
+    case_seed: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz_sim [--cases N] [--seed S] [--smoke] [--out FILE] \
+         [--corpus-dir DIR] [--replay FILE] [--emit FILE --case-seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 100,
+        seed: 7,
+        out: PathBuf::from("target/fuzz_verdicts.txt"),
+        corpus_dir: default_corpus_dir(),
+        replay: None,
+        emit: None,
+        case_seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = value("a count").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                args.seed = value("a seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--smoke" => args.cases = 200,
+            "--out" => args.out = PathBuf::from(value("a path")),
+            "--corpus-dir" => args.corpus_dir = PathBuf::from(value("a path")),
+            "--replay" => args.replay = Some(PathBuf::from(value("a path"))),
+            "--emit" => args.emit = Some(PathBuf::from(value("a path"))),
+            "--case-seed" => {
+                args.case_seed = Some(parse_seed(&value("a seed")).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The corpus lives at the repo root (`fuzz/corpus/`), two levels above
+/// this crate; `EMCC_CORPUS_DIR` overrides for sandboxed CI steps.
+fn default_corpus_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("EMCC_CORPUS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// splitmix64: decorrelates per-case seeds from the campaign seed.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(path) = &args.emit {
+        let Some(case_seed) = args.case_seed else {
+            eprintln!("error: --emit needs --case-seed (the seed column of a verdict line)");
+            return ExitCode::from(2);
+        };
+        let case = FuzzCase::generate(case_seed);
+        if let Err(e) = std::fs::write(path, corpus::to_ron(&case)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("emitted case {case_seed:#x} to {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let jobs = jobs_from_env();
+    eprintln!(
+        "fuzz_sim: {} cases, seed {}, {} workers",
+        args.cases, args.seed, jobs
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_indexed_catching(args.cases, jobs, |i| {
+        let case = FuzzCase::generate(mix(args.seed, i as u64));
+        let report = check_case(&case);
+        (case, report)
+    });
+    eprintln!("fuzz_sim: campaign took {:.1?}", t0.elapsed());
+
+    let mut verdicts = String::new();
+    let mut first_failure: Option<(usize, FuzzCase, Vec<String>)> = None;
+    let mut failed = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok((case, report)) => {
+                let ok = report.ok();
+                verdicts.push_str(&format!(
+                    "case {i} seed {:#018x} digest {:016x} {}\n",
+                    case.seed,
+                    report.digest,
+                    if ok { "ok" } else { "FAIL" }
+                ));
+                if !ok {
+                    failed += 1;
+                    for f in &report.failures {
+                        eprintln!("case {i}: {f}");
+                    }
+                    if first_failure.is_none() {
+                        first_failure = Some((i, case, report.failures));
+                    }
+                }
+            }
+            Err(panic_msg) => {
+                failed += 1;
+                verdicts.push_str(&format!("case {i} PANIC {panic_msg}\n"));
+                eprintln!("case {i}: simulator panicked: {panic_msg}");
+            }
+        }
+    }
+
+    if let Some(parent) = args.out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&args.out, &verdicts) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "fuzz_sim: {}/{} cases passed, verdicts in {}",
+        args.cases - failed,
+        args.cases,
+        args.out.display()
+    );
+
+    if let Some((index, case, failures)) = first_failure {
+        shrink_and_persist(index, case, failures, &args.corpus_dir);
+        return ExitCode::from(1);
+    }
+    if failed > 0 {
+        // Panicking cases cannot be shrunk through the oracle (the
+        // panic aborts the battery) — still a red campaign.
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay(path: &std::path::Path) -> ExitCode {
+    match corpus::load(path) {
+        Ok(case) => {
+            let report = check_case(&case);
+            if report.ok() {
+                eprintln!(
+                    "replay {}: ok (digest {:016x})",
+                    path.display(),
+                    report.digest
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &report.failures {
+                    eprintln!("replay {}: {f}", path.display());
+                }
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn shrink_and_persist(
+    index: usize,
+    case: FuzzCase,
+    failures: Vec<String>,
+    corpus_dir: &std::path::Path,
+) {
+    eprintln!(
+        "fuzz_sim: shrinking case {index} ({} trace ops, {} accesses)...",
+        case.trace.len(),
+        case.total_accesses()
+    );
+    let t0 = std::time::Instant::now();
+    let m = minimize(case, SHRINK_BUDGET, |cand| !check_case(cand).ok());
+    eprintln!(
+        "fuzz_sim: shrunk to {} trace ops / {} accesses in {} steps ({} candidates, {:.1?})",
+        m.value.trace.len(),
+        m.value.total_accesses(),
+        m.steps,
+        m.tested,
+        t0.elapsed()
+    );
+    let name = format!("shrunk-{:016x}.ron", m.value.seed);
+    let path = corpus_dir.join(&name);
+    let mut text = corpus::to_ron(&m.value);
+    for f in &failures {
+        text.push_str(&format!("// failed oracle: {f}\n"));
+    }
+    if let Err(e) = std::fs::create_dir_all(corpus_dir) {
+        eprintln!("error: cannot create {}: {e}", corpus_dir.display());
+        return;
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!(
+            "fuzz_sim: reproducer persisted to {} — `cargo test -p emcc-fuzz` replays it",
+            path.display()
+        ),
+        Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+    }
+}

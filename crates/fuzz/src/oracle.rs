@@ -1,0 +1,404 @@
+//! The differential oracle battery.
+//!
+//! A case passes when every check over every scheme × counter-design
+//! combination holds. Failures carry human-readable descriptions so the
+//! shrunk reproducer's verdict explains *which* law broke, not just that
+//! one did.
+
+use std::collections::HashMap;
+
+use emcc::counters::CounterDesign;
+use emcc::crypto::DataBlock;
+use emcc::secmem::{FunctionalSecureMemory, SecurityScheme};
+use emcc::sim::LineAddr;
+use emcc::system::{SecureSystem, SimReport};
+
+use crate::case::{FaultPlan, FuzzCase};
+
+/// The schemes every case runs under.
+pub const SCHEMES: [SecurityScheme; 3] = [
+    SecurityScheme::NonSecure,
+    SecurityScheme::CtrInLlc,
+    SecurityScheme::Emcc,
+];
+
+/// The counter designs every case runs under.
+pub const DESIGNS: [CounterDesign; 3] = [
+    CounterDesign::Monolithic,
+    CounterDesign::Sc64,
+    CounterDesign::Morphable,
+];
+
+/// Verdict of the battery over one case.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Oracle-law violations, empty when the case passes.
+    pub failures: Vec<String>,
+    /// FNV-1a digest over every combo's canonical report — the verdict
+    /// file's determinism fingerprint.
+    pub digest: u64,
+    /// Scheme × design combinations executed.
+    pub combos: usize,
+}
+
+impl OracleReport {
+    /// True when every oracle held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the full battery on one case.
+///
+/// Honors `EMCC_FORCE_ORACLE_FAIL` (value `*` or a specific case seed):
+/// an always-failing oracle for exercising the shrink → corpus → replay
+/// path end-to-end, mirroring `EMCC_FORCE_PANIC` in the bench harness.
+pub fn check_case(case: &FuzzCase) -> OracleReport {
+    let mut failures = Vec::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+
+    if let Err(e) = case.validate() {
+        return OracleReport {
+            failures: vec![e],
+            digest,
+            combos: 0,
+        };
+    }
+
+    for design in DESIGNS {
+        functional_oracle(case, design, &mut failures);
+    }
+
+    // One SimReport per scheme×design, in fixed order.
+    let mut reports: Vec<(SecurityScheme, CounterDesign, SimReport)> = Vec::new();
+    for scheme in SCHEMES {
+        for design in DESIGNS {
+            let cfg = case.system_config(scheme, design);
+            let report = SecureSystem::new(cfg).run(case.sources(), case.ops_per_core);
+            fnv_mix(&mut digest, report.canonical_json().as_bytes());
+            report_laws(case, scheme, &report, &mut failures);
+            reports.push((scheme, design, report));
+        }
+    }
+    metamorphic_laws(&reports, &mut failures);
+
+    // Determinism: re-running a combo must reproduce its report verbatim.
+    let cfg = case.system_config(SecurityScheme::Emcc, CounterDesign::Morphable);
+    let again = SecureSystem::new(cfg).run(case.sources(), case.ops_per_core);
+    let first = reports
+        .iter()
+        .find(|(s, d, _)| *s == SecurityScheme::Emcc && *d == CounterDesign::Morphable)
+        .map(|(_, _, r)| r.canonical_json())
+        .expect("combo was run");
+    if again.canonical_json() != first {
+        failures.push("determinism: emcc/morphable replay diverged from first run".to_string());
+    }
+
+    if forced_failure(case.seed) {
+        failures.push("forced failure (EMCC_FORCE_ORACLE_FAIL)".to_string());
+    }
+
+    OracleReport {
+        failures,
+        digest,
+        combos: SCHEMES.len() * DESIGNS.len(),
+    }
+}
+
+/// `EMCC_FORCE_ORACLE_FAIL=*` fails every case; a number fails the case
+/// with that seed (shrink candidates keep their seed, so the forced
+/// failure survives shrinking, as a real seed-determined bug would).
+fn forced_failure(seed: u64) -> bool {
+    match std::env::var("EMCC_FORCE_ORACLE_FAIL") {
+        Ok(v) => v == "*" || v == seed.to_string(),
+        Err(_) => false,
+    }
+}
+
+/// The value the timing model architecturally stores: fuzz writes are
+/// content-free, so give each (line, nth-write) a distinct block.
+fn write_value(line: u64, nth: u64) -> DataBlock {
+    DataBlock::from_words([line ^ nth.wrapping_mul(0x9E37_79B9_7F4A_7C15); 8])
+}
+
+/// Functional equivalence: `FunctionalSecureMemory` must agree with a
+/// naive line → value map on every read, through both the monolithic
+/// read path and the EMCC split-MAC path, and detect a tamper planted
+/// after the replay.
+fn functional_oracle(case: &FuzzCase, design: CounterDesign, failures: &mut Vec<String>) {
+    let tag = format!("functional/{design:?}");
+    let mut fsm = FunctionalSecureMemory::with_design(case.seed, case.data_lines, design);
+    let mut naive: HashMap<u64, DataBlock> = HashMap::new();
+    let mut writes: HashMap<u64, u64> = HashMap::new();
+    for (i, op) in case.trace.iter().enumerate() {
+        let line = LineAddr::new(op.line);
+        if op.write {
+            let nth = writes.entry(op.line).or_insert(0);
+            let value = write_value(op.line, *nth);
+            *nth += 1;
+            fsm.write(line, value);
+            naive.insert(op.line, value);
+        } else {
+            let expect = naive.get(&op.line).copied().unwrap_or_default();
+            match fsm.read(line) {
+                Ok(v) if v == expect => {}
+                Ok(_) => failures.push(format!("{tag}: op {i} read wrong value at {}", op.line)),
+                Err(e) => failures.push(format!("{tag}: op {i} spurious {e:?} at {}", op.line)),
+            }
+            match fsm.read_split(line) {
+                Ok(v) if v == expect => {}
+                other => failures.push(format!(
+                    "{tag}: op {i} split-path diverged at {}: {other:?}",
+                    op.line
+                )),
+            }
+        }
+    }
+    // Tamper spot-check on the first written line: a ciphertext bit-flip
+    // must be detected by both read paths, and a rewrite must repair it.
+    if let Some(&line) = naive.keys().min() {
+        let addr = LineAddr::new(line);
+        let bit = (case.seed % 512) as usize;
+        fsm.tamper_flip_bit(addr, bit);
+        if fsm.read(addr).is_ok() {
+            failures.push(format!("{tag}: bit-flip at line {line} went undetected"));
+        }
+        if fsm.read_split(addr).is_ok() {
+            failures.push(format!(
+                "{tag}: bit-flip at line {line} undetected by split path"
+            ));
+        }
+        let repaired = write_value(line, 0xBEEF);
+        fsm.write(addr, repaired);
+        if fsm.read_checked(addr) != Ok(repaired) {
+            failures.push(format!("{tag}: rewrite failed to repair line {line}"));
+        }
+    }
+}
+
+/// Conservation and detection laws over one combo's report.
+fn report_laws(case: &FuzzCase, scheme: SecurityScheme, r: &SimReport, failures: &mut Vec<String>) {
+    let tag = format!("laws/{}/{}", r.scheme, r.benchmark);
+    let mut law = |ok: bool, what: String| {
+        if !ok {
+            failures.push(format!("{tag}: {what}"));
+        }
+    };
+
+    law(
+        r.mem_ops == case.total_accesses(),
+        format!(
+            "mem_ops {} != cores*ops {}",
+            r.mem_ops,
+            case.total_accesses()
+        ),
+    );
+    law(
+        r.l2_hits + r.l2_data_misses <= r.l2_accesses,
+        format!(
+            "l2 hits {} + misses {} > accesses {}",
+            r.l2_hits, r.l2_data_misses, r.l2_accesses
+        ),
+    );
+    // LLC misses are counted at issue, DRAM data reads at completion, and
+    // the run ends the moment the last core retires — so reads still in
+    // flight at cutoff leave a deficit. That deficit is bounded by the
+    // outstanding-miss capacity (per-core MLP cap of 16 plus the prefetch
+    // degree); anything larger is a genuinely lost request.
+    let in_flight_cap = case.cores as u64 * (16 + u64::from(case.prefetch));
+    law(
+        r.dram_data_reads + in_flight_cap >= r.llc_data_misses,
+        format!(
+            "dram data reads {} + in-flight cap {} < llc misses {}",
+            r.dram_data_reads, in_flight_cap, r.llc_data_misses
+        ),
+    );
+    law(
+        r.xpt_wasted <= r.xpt_forwards,
+        format!("xpt wasted {} > forwards {}", r.xpt_wasted, r.xpt_forwards),
+    );
+    if !case.xpt {
+        law(
+            r.xpt_forwards == 0,
+            format!("xpt disabled but {} forwards", r.xpt_forwards),
+        );
+    }
+    if case.prefetch == 0 {
+        law(
+            r.prefetches == 0,
+            format!("prefetcher disabled but {} prefetches", r.prefetches),
+        );
+    }
+    law(
+        r.l2_ctr_useless + r.l2_ctr_useful <= r.l2_ctr_insertions,
+        format!(
+            "ctr useless {} + useful {} > insertions {}",
+            r.l2_ctr_useless, r.l2_ctr_useful, r.l2_ctr_insertions
+        ),
+    );
+
+    if scheme == SecurityScheme::NonSecure {
+        let ctr_total: u64 = r.ctr_source.iter().sum();
+        law(
+            ctr_total == 0,
+            format!("non-secure sourced {ctr_total} counters"),
+        );
+        law(
+            r.decrypted_at_l2 == 0 && r.decrypted_at_mc == 0,
+            "non-secure decrypted something".to_string(),
+        );
+        law(
+            r.integrity_violations == 0,
+            format!("non-secure raised {} violations", r.integrity_violations),
+        );
+        law(
+            r.silent_corruptions == r.faulty_reads,
+            format!(
+                "non-secure silent {} != faulty {}",
+                r.silent_corruptions, r.faulty_reads
+            ),
+        );
+    } else {
+        law(
+            r.silent_corruptions == 0,
+            format!(
+                "secure run consumed {} corruptions silently",
+                r.silent_corruptions
+            ),
+        );
+        law(
+            r.integrity_violations == r.faulty_reads,
+            format!(
+                "detection not exact: violations {} != faulty reads {}",
+                r.integrity_violations, r.faulty_reads
+            ),
+        );
+        law(
+            r.shadow_mismatches == 0,
+            format!("shadow diff found {} mismatched lines", r.shadow_mismatches),
+        );
+    }
+    if !scheme.is_emcc() {
+        law(
+            r.decrypted_at_l2 == 0 && r.l2_ctr_reqs_to_llc == 0 && r.l2_ctr_insertions == 0,
+            "non-EMCC scheme used L2 counter machinery".to_string(),
+        );
+    }
+
+    if case.fault == FaultPlan::None {
+        let injected: u64 = r.faults_injected.iter().sum();
+        law(
+            injected == 0 && r.faulty_reads == 0,
+            format!(
+                "fault-free run injected {injected}, faulty {}",
+                r.faulty_reads
+            ),
+        );
+        law(
+            r.integrity_violations == 0
+                && r.integrity_retries == 0
+                && r.integrity_unrecovered == 0
+                && r.silent_corruptions == 0,
+            "fault-free run reported violations".to_string(),
+        );
+        law(
+            r.detection_latency_ns.total() == 0,
+            "fault-free run recorded detection latencies".to_string(),
+        );
+    } else {
+        law(
+            r.integrity_retries >= r.integrity_unrecovered,
+            format!(
+                "unrecovered {} without enough retries {}",
+                r.integrity_unrecovered, r.integrity_retries
+            ),
+        );
+    }
+}
+
+/// Cross-scheme metamorphic relations over the 9 reports of one case.
+fn metamorphic_laws(
+    reports: &[(SecurityScheme, CounterDesign, SimReport)],
+    failures: &mut Vec<String>,
+) {
+    // NonSecure never loses to a secure scheme on the same design: secure
+    // schemes only add work (counter fetches, AES, verification).
+    for design in DESIGNS {
+        let of = |scheme: SecurityScheme| {
+            reports
+                .iter()
+                .find(|(s, d, _)| *s == scheme && *d == design)
+                .map(|(_, _, r)| r)
+                .expect("all combos present")
+        };
+        let ns = of(SecurityScheme::NonSecure);
+        for scheme in [SecurityScheme::CtrInLlc, SecurityScheme::Emcc] {
+            let sec = of(scheme);
+            if ns.elapsed > sec.elapsed {
+                failures.push(format!(
+                    "metamorphic/{design:?}: non-secure ({} ps) slower than {} ({} ps)",
+                    ns.elapsed.as_ps(),
+                    scheme,
+                    sec.elapsed.as_ps()
+                ));
+            }
+        }
+    }
+    // NonSecure ignores counters entirely, so its report is invariant
+    // under the counter design.
+    let ns: Vec<&SimReport> = reports
+        .iter()
+        .filter(|(s, _, _)| *s == SecurityScheme::NonSecure)
+        .map(|(_, _, r)| r)
+        .collect();
+    for w in ns.windows(2) {
+        if w[0].canonical_json() != w[1].canonical_json() {
+            failures.push("metamorphic: non-secure report varies with counter design".to_string());
+            break;
+        }
+    }
+}
+
+/// Streams bytes into an FNV-1a state.
+fn fnv_mix(state: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *state ^= u64::from(b);
+        *state = state.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_case_passes_battery() {
+        let mut case = FuzzCase::generate(11);
+        case.trace.truncate(24);
+        case.ops_per_core = 24;
+        case.fault = FaultPlan::None;
+        let rep = check_case(&case);
+        assert!(rep.ok(), "unexpected failures: {:#?}", rep.failures);
+        assert_eq!(rep.combos, 9);
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let mut case = FuzzCase::generate(12);
+        case.trace.truncate(16);
+        case.ops_per_core = 16;
+        let a = check_case(&case);
+        let b = check_case(&case);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn invalid_case_is_rejected_not_run() {
+        let mut case = FuzzCase::generate(1);
+        case.trace[0].line = case.data_lines; // out of range
+        let rep = check_case(&case);
+        assert!(!rep.ok());
+        assert_eq!(rep.combos, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Replays every persisted corpus case through the full oracle battery.
+//!
+//! `fuzz/corpus/*.ron` is the fuzzer's regression suite: any case a
+//! campaign ever shrunk (plus hand-pinned benign cases) stays red until
+//! its bug is fixed, and green forever after. The directory is resolved
+//! relative to this crate so the test passes from any working directory;
+//! `EMCC_CORPUS_DIR` points it elsewhere for sandboxed CI steps.
+
+use std::path::PathBuf;
+
+use emcc_fuzz::{check_case, corpus};
+
+fn corpus_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("EMCC_CORPUS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn corpus_cases_replay_green() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} unreadable: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ron"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "corpus dir {} holds no .ron cases — the regression suite vanished",
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for path in &entries {
+        let case = corpus::load(path).unwrap_or_else(|e| panic!("{e}"));
+        let report = check_case(&case);
+        if !report.ok() {
+            failures.push(format!("{}: {:?}", path.display(), report.failures));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) replayed red:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_files_roundtrip_exactly() {
+    // A corpus file must re-serialize to semantically identical text, or
+    // shrunk reproducers would drift when re-persisted.
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "ron") {
+            continue;
+        }
+        let case = corpus::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        let back = corpus::from_ron(&corpus::to_ron(&case)).expect("re-parse");
+        assert_eq!(case, back, "roundtrip drift in {}", path.display());
+    }
+}

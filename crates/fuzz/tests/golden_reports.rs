@@ -1,0 +1,80 @@
+//! Golden-report regression: canonical `SimReport`s for a pinned seed
+//! set must match the checked-in snapshots bit for bit.
+//!
+//! Any timing-model change — intended or not — shows up here as a
+//! readable JSON diff before it can silently shift the paper's figures.
+//! After reviewing an intended change, regenerate with
+//!
+//! ```text
+//! EMCC_BLESS=1 cargo test -p emcc-fuzz --test golden_reports
+//! ```
+//! and commit the updated `tests/golden/*.json`.
+
+use std::path::PathBuf;
+
+use emcc::system::SecureSystem;
+use emcc_fuzz::oracle::{DESIGNS, SCHEMES};
+use emcc_fuzz::FuzzCase;
+
+/// Pinned case seeds: small, fixed forever (append, never change).
+const GOLDEN_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// One blob per seed: every scheme × design combo's canonical report,
+/// preceded by a combo header line.
+fn render(seed: u64) -> String {
+    let case = FuzzCase::generate(seed);
+    let mut out = String::new();
+    for scheme in SCHEMES {
+        for design in DESIGNS {
+            out.push_str(&format!("// combo: {scheme} / {design:?}\n"));
+            let cfg = case.system_config(scheme, design);
+            let report = SecureSystem::new(cfg).run(case.sources(), case.ops_per_core);
+            out.push_str(&report.canonical_json());
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_reports_match_snapshots() {
+    let bless = std::env::var("EMCC_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut diffs = Vec::new();
+    for seed in GOLDEN_SEEDS {
+        let path = dir.join(format!("seed_{seed}.json"));
+        let actual = render(seed);
+        if bless {
+            std::fs::write(&path, &actual).expect("write snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "snapshot {} unreadable ({e}) — run EMCC_BLESS=1 cargo test -p emcc-fuzz \
+                 --test golden_reports to create it",
+                path.display()
+            )
+        });
+        if actual != expected {
+            let first_diff = actual
+                .lines()
+                .zip(expected.lines())
+                .enumerate()
+                .find(|(_, (a, e))| a != e)
+                .map(|(n, (a, e))| format!("line {}: got `{a}`, snapshot `{e}`", n + 1))
+                .unwrap_or_else(|| "lengths differ".to_string());
+            diffs.push(format!("seed {seed}: {first_diff}"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "golden reports drifted (EMCC_BLESS=1 regenerates after review):\n{}",
+        diffs.join("\n")
+    );
+}

@@ -1,0 +1,124 @@
+//! Property tests for the NoC: slice-map partition balance and mesh
+//! distance metric laws.
+//!
+//! The slice map must behave as a balanced partition of the address
+//! space for the LLC occupancy model to hold, and mesh hop counts must
+//! form a metric (symmetric, triangle-inequality-consistent) for the
+//! latency model built on them to be physically sensible.
+
+use emcc_noc::{Mesh, NocLatency, Node, SliceMap};
+use emcc_sim::LineAddr;
+use proptest::prelude::*;
+
+/// All nodes of a mesh: every core tile plus every memory controller.
+fn all_nodes(mesh: &Mesh) -> Vec<Node> {
+    (0..mesh.num_cores())
+        .map(Node::Core)
+        .chain((0..mesh.num_mcs()).map(Node::Mc))
+        .collect()
+}
+
+proptest! {
+    /// Every address lands on a valid slice, deterministically.
+    #[test]
+    fn slice_map_total_and_deterministic(
+        num_slices in 1usize..=32,
+        line in any::<u64>(),
+    ) {
+        let m = SliceMap::new(num_slices);
+        let s = m.slice_of(LineAddr::new(line));
+        prop_assert!(s < num_slices);
+        prop_assert_eq!(s, m.slice_of(LineAddr::new(line)));
+    }
+
+    /// The map partitions dense and strided address windows near-evenly:
+    /// every slice is hit, and no slice's occupancy strays more than 30%
+    /// from the mean. A lopsided hash would break the per-slice occupancy
+    /// assumptions of the LLC model.
+    #[test]
+    fn slice_map_partitions_evenly(
+        num_slices in 2usize..=32,
+        base in 0u64..1_000_000,
+        stride in 1u64..=256,
+    ) {
+        let m = SliceMap::new(num_slices);
+        let samples = 2_000 * num_slices as u64;
+        let mut counts = vec![0u64; num_slices];
+        for i in 0..samples {
+            counts[m.slice_of(LineAddr::new(base + i * stride))] += 1;
+        }
+        let mean = samples as f64 / num_slices as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "slice {} never hit (stride {})", s, stride);
+            let dev = (c as f64 - mean).abs() / mean;
+            prop_assert!(dev < 0.30,
+                "slice {} occupancy off mean by {:.2} (stride {})", s, dev, stride);
+        }
+    }
+
+    /// Hop counts form a metric on every mesh shape: zero exactly on
+    /// self-positions, symmetric, and triangle-inequality-consistent
+    /// across all node triples (cores and MCs alike).
+    #[test]
+    fn mesh_hops_form_a_metric(
+        cols in 2u32..=7,
+        rows in 2u32..=7,
+    ) {
+        let mesh = Mesh::grid(cols, rows);
+        let nodes = all_nodes(&mesh);
+        for &a in &nodes {
+            prop_assert_eq!(mesh.hops(a, a), 0);
+            for &b in &nodes {
+                prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+                prop_assert!(mesh.hops(a, b) <= (cols - 1) + (rows - 1));
+                for &c in &nodes {
+                    prop_assert!(
+                        mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c),
+                        "triangle violated: {:?} -> {:?} -> {:?}", a, b, c);
+                }
+            }
+        }
+    }
+
+    /// The latency model inherits the metric laws: `between` is symmetric
+    /// for either payload kind, strictly increasing in hop count, and a
+    /// payload never makes a message faster.
+    #[test]
+    fn latency_respects_hop_metric(
+        cols in 2u32..=6,
+        rows in 2u32..=6,
+        a_pick in any::<u64>(),
+        b_pick in any::<u64>(),
+    ) {
+        let mesh = Mesh::grid(cols, rows);
+        let lat = NocLatency::calibrated();
+        let nodes = all_nodes(&mesh);
+        let a = nodes[(a_pick % nodes.len() as u64) as usize];
+        let b = nodes[(b_pick % nodes.len() as u64) as usize];
+        for payload in [false, true] {
+            prop_assert_eq!(
+                lat.between(&mesh, a, b, payload),
+                lat.between(&mesh, b, a, payload));
+        }
+        prop_assert!(lat.between(&mesh, a, b, true) >= lat.between(&mesh, a, b, false));
+        let h = mesh.hops(a, b);
+        prop_assert!(lat.one_way(h + 1, false) > lat.one_way(h, false));
+    }
+}
+
+/// The Figure 4 mesh is a fixed topology, so its metric laws are checked
+/// exhaustively rather than sampled.
+#[test]
+fn xeon_mesh_hops_form_a_metric() {
+    let mesh = Mesh::xeon_w3175x();
+    let nodes = all_nodes(&mesh);
+    for &a in &nodes {
+        assert_eq!(mesh.hops(a, a), 0);
+        for &b in &nodes {
+            assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+            for &c in &nodes {
+                assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+            }
+        }
+    }
+}

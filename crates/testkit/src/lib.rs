@@ -11,11 +11,15 @@
 //!
 //! Cases are generated from a deterministic splitmix64 stream seeded by
 //! the test name, so failures are reproducible run-to-run. Set
-//! `PROPTEST_CASES` (default 64) to raise or lower the case count. There
-//! is no shrinking: a failing case reports its inputs verbatim.
+//! `PROPTEST_CASES` (default 64) to raise or lower the case count. The
+//! `proptest!` macro reports a failing case's inputs verbatim; callers
+//! that want a minimal reproducer (the fuzzer) implement [`Shrink`] and
+//! run the failing value through [`minimize`].
 
+pub mod shrink;
 pub mod strategy;
 
+pub use shrink::{minimize, Minimized, Shrink};
 pub use strategy::{any, Strategy};
 
 /// Deterministic generator state for one property test.

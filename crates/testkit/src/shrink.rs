@@ -1,0 +1,188 @@
+//! Integrated shrinking: minimize a failing case to a small reproducer.
+//!
+//! The fuzzer (and any property test that opts in) hands a failing value
+//! to [`minimize`] together with the predicate that detects the failure;
+//! the driver greedily applies [`Shrink::shrink_candidates`] until no
+//! candidate still fails or the test budget is exhausted. Shrinking is
+//! fully deterministic: candidates are tried in the order the type
+//! produces them, and the first still-failing candidate is taken.
+//!
+//! Types compose their shrink candidates from the [`shrink_vec`] /
+//! [`shrink_int`] helpers, mirroring proptest's delta-debugging order:
+//! large structural deletions first (drop half the elements), then
+//! smaller ones, then element-wise simplification.
+
+/// A type that can propose strictly "smaller" variants of itself.
+///
+/// Candidates must be simpler by some well-founded measure (fewer
+/// elements, smaller integers, fewer enabled features) so the greedy
+/// driver terminates. An empty vector means the value is fully minimal.
+pub trait Shrink: Sized {
+    /// Proposes simpler variants, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Outcome of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct Minimized<T> {
+    /// The smallest still-failing value found.
+    pub value: T,
+    /// Accepted shrink steps (candidates that still failed).
+    pub steps: usize,
+    /// Total candidates tested against the predicate.
+    pub tested: usize,
+}
+
+/// Greedily minimizes `value` under `still_fails`, testing at most
+/// `max_tests` candidates.
+///
+/// `value` itself is assumed to fail (callers establish that before
+/// shrinking); the return value is guaranteed to fail `still_fails`
+/// whenever that assumption holds, because only failing candidates are
+/// accepted.
+pub fn minimize<T: Shrink>(
+    value: T,
+    max_tests: usize,
+    mut still_fails: impl FnMut(&T) -> bool,
+) -> Minimized<T> {
+    let mut current = value;
+    let mut steps = 0;
+    let mut tested = 0;
+    'outer: loop {
+        for cand in current.shrink_candidates() {
+            if tested >= max_tests {
+                break 'outer;
+            }
+            tested += 1;
+            if still_fails(&cand) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: fully shrunk
+    }
+    Minimized {
+        value: current,
+        steps,
+        tested,
+    }
+}
+
+/// Structural shrink candidates for a sequence: remove progressively
+/// smaller chunks (half, quarter, ..., single elements), then simplify
+/// single elements with `shrink_elem`. Never proposes an empty vector
+/// when `min_len` is 1 or more.
+pub fn shrink_vec<T: Clone>(
+    xs: &[T],
+    min_len: usize,
+    shrink_elem: impl Fn(&T) -> Vec<T>,
+) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let n = xs.len();
+    // Chunk deletions: half, quarter, ..., down to single elements.
+    let mut chunk = n / 2;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start + chunk <= n {
+            if n - chunk >= min_len {
+                let mut shorter = Vec::with_capacity(n - chunk);
+                shorter.extend_from_slice(&xs[..start]);
+                shorter.extend_from_slice(&xs[start + chunk..]);
+                out.push(shorter);
+            }
+            start += chunk;
+        }
+        chunk /= 2;
+    }
+    // Element-wise simplification, first failing element wins.
+    for (i, x) in xs.iter().enumerate() {
+        for smaller in shrink_elem(x) {
+            let mut ys = xs.to_vec();
+            ys[i] = smaller;
+            out.push(ys);
+        }
+    }
+    out
+}
+
+/// Shrink candidates for an integer: towards `floor` by halving the
+/// distance, then by one.
+pub fn shrink_int(x: u64, floor: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if x <= floor {
+        return out;
+    }
+    let span = x - floor;
+    if span > 1 {
+        out.push(floor + span / 2);
+    }
+    out.push(floor);
+    out.push(x - 1);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Shrink for Vec<u64> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            shrink_vec(self, 1, |&x| {
+                shrink_int(x, 0).into_iter().collect::<Vec<u64>>()
+            })
+        }
+    }
+
+    #[test]
+    fn minimizes_to_single_offending_element() {
+        // Failure: the vector contains a value >= 100.
+        let start: Vec<u64> = (0..64).map(|i| if i == 37 { 250 } else { i }).collect();
+        let m = minimize(start, 10_000, |v| v.iter().any(|&x| x >= 100));
+        assert_eq!(m.value.len(), 1, "should shrink to one element");
+        assert_eq!(m.value[0], 100, "element should shrink to the boundary");
+        assert!(m.steps > 0);
+    }
+
+    #[test]
+    fn respects_test_budget() {
+        let start: Vec<u64> = vec![500; 1024];
+        let m = minimize(start, 7, |v| !v.is_empty());
+        assert!(m.tested <= 7);
+    }
+
+    #[test]
+    fn minimal_value_stays_put() {
+        let m = minimize(vec![0u64], 1000, |v| !v.is_empty());
+        assert_eq!(m.value, vec![0]);
+        assert_eq!(m.steps, 0);
+    }
+
+    #[test]
+    fn shrink_vec_never_below_min_len() {
+        let xs = vec![1u64, 2, 3, 4];
+        for cand in shrink_vec(&xs, 2, |_| Vec::new()) {
+            assert!(cand.len() >= 2, "candidate too short: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_int_moves_toward_floor() {
+        assert!(shrink_int(5, 5).is_empty());
+        let c = shrink_int(100, 10);
+        assert!(c.contains(&55) && c.contains(&10) && c.contains(&99));
+        for v in c {
+            assert!((10..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let start: Vec<u64> = (0..32).rev().collect();
+        let a = minimize(start.clone(), 5_000, |v| v.iter().sum::<u64>() >= 40);
+        let b = minimize(start, 5_000, |v| v.iter().sum::<u64>() >= 40);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.tested, b.tested);
+    }
+}

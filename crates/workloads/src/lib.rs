@@ -36,6 +36,7 @@
 pub mod graph;
 pub mod kernels;
 pub mod paging;
+pub mod phases;
 pub mod pointer;
 pub mod presets;
 pub mod stream;

@@ -1,0 +1,204 @@
+//! Phase-structured synthetic traces for the fuzzer.
+//!
+//! Real programs alternate between access regimes — streaming scans,
+//! pointer chasing, skewed graph traversal, page-granular hopping — and
+//! the secure-memory schemes respond very differently to each (counter
+//! locality, MSHR pressure, overflow drain). The fuzzer therefore builds
+//! its traces from short *phases*, each a caricature of one regime,
+//! concatenated in a seed-determined order. Everything here is a pure
+//! function of `(seed, footprint, count)` so a fuzz case replays
+//! bit-for-bit from its seed.
+
+use emcc_sim::rng::ZipfTable;
+use emcc_sim::{LineAddr, Rng64};
+
+use crate::trace::MemOp;
+
+/// One access regime within a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Strided sequential sweep with occasional stores.
+    Stream,
+    /// Dependent-load chain over random lines (pointer chasing).
+    Pointer,
+    /// Zipf-skewed vertex access with neighbour bursts.
+    Graph,
+    /// Hops between 64-line (4 KB page) regions, touching a few lines in
+    /// each — stresses counter-block coverage boundaries.
+    Paging,
+}
+
+impl PhaseKind {
+    /// All phase kinds, in the fixed order the mixer cycles through.
+    pub fn all() -> [PhaseKind; 4] {
+        [
+            PhaseKind::Stream,
+            PhaseKind::Pointer,
+            PhaseKind::Graph,
+            PhaseKind::Paging,
+        ]
+    }
+
+    /// Short name for labels and corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Stream => "stream",
+            PhaseKind::Pointer => "pointer",
+            PhaseKind::Graph => "graph",
+            PhaseKind::Paging => "paging",
+        }
+    }
+}
+
+/// Lines per 4 KB page — the paging phase's hop granularity.
+const PAGE_LINES: u64 = 64;
+
+/// Generates `count` operations of one phase over lines `0..footprint`.
+///
+/// # Panics
+///
+/// Panics if `footprint` is zero.
+pub fn phase_ops(kind: PhaseKind, rng: &mut Rng64, footprint: u64, count: usize) -> Vec<MemOp> {
+    assert!(footprint > 0, "phase needs a non-empty footprint");
+    let mut ops = Vec::with_capacity(count);
+    match kind {
+        PhaseKind::Stream => {
+            let stride = [1, 2, 4][rng.index(3)];
+            let write_p = 0.05 + 0.35 * rng.unit_f64();
+            let mut line = rng.below(footprint);
+            for _ in 0..count {
+                let gap = rng.below(8) as u32;
+                let addr = LineAddr::new(line);
+                ops.push(if rng.chance(write_p) {
+                    MemOp::store(addr, gap)
+                } else {
+                    MemOp::load(addr, gap)
+                });
+                line = (line + stride) % footprint;
+            }
+        }
+        PhaseKind::Pointer => {
+            for _ in 0..count {
+                let addr = LineAddr::new(rng.below(footprint));
+                let gap = rng.below(4) as u32;
+                ops.push(MemOp::dependent_load(addr, gap));
+            }
+        }
+        PhaseKind::Graph => {
+            let table = ZipfTable::new(footprint.min(4096) as usize, 0.8);
+            let mut i = 0;
+            while i < count {
+                let vertex = rng.zipf(&table) as u64 % footprint;
+                // Vertex read, then a short neighbour burst, then an
+                // occasional rank-style writeback of the vertex.
+                ops.push(MemOp::load(LineAddr::new(vertex), rng.below(6) as u32));
+                i += 1;
+                let burst = rng.index(4);
+                for _ in 0..burst {
+                    if i >= count {
+                        break;
+                    }
+                    let n = (vertex + 1 + rng.below(8)) % footprint;
+                    ops.push(MemOp::dependent_load(LineAddr::new(n), 0));
+                    i += 1;
+                }
+                if i < count && rng.chance(0.2) {
+                    ops.push(MemOp::store(LineAddr::new(vertex), 0));
+                    i += 1;
+                }
+            }
+        }
+        PhaseKind::Paging => {
+            let pages = footprint.div_ceil(PAGE_LINES);
+            let mut i = 0;
+            while i < count {
+                let page = rng.below(pages);
+                let touches = 1 + rng.index(6);
+                for _ in 0..touches {
+                    if i >= count {
+                        break;
+                    }
+                    let line = (page * PAGE_LINES + rng.below(PAGE_LINES)) % footprint;
+                    let gap = rng.below(16) as u32;
+                    ops.push(if rng.chance(0.25) {
+                        MemOp::store(LineAddr::new(line), gap)
+                    } else {
+                        MemOp::load(LineAddr::new(line), gap)
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Builds a trace of `total` operations mixing all four phases.
+///
+/// The seed picks the starting phase and each phase's length (8–64 ops),
+/// then cycles deterministically through [`PhaseKind::all`].
+///
+/// # Panics
+///
+/// Panics if `footprint` or `total` is zero.
+pub fn mixed_ops(seed: u64, footprint: u64, total: usize) -> Vec<MemOp> {
+    assert!(total > 0, "trace must contain at least one op");
+    let mut rng = Rng64::new(seed ^ 0xF0A5_E5E5_D00D_FEED);
+    let kinds = PhaseKind::all();
+    let mut next = rng.index(kinds.len());
+    let mut ops = Vec::with_capacity(total);
+    while ops.len() < total {
+        let len = (8 + rng.index(57)).min(total - ops.len());
+        ops.extend(phase_ops(kinds[next], &mut rng, footprint, len));
+        next = (next + 1) % kinds.len();
+    }
+    ops.truncate(total);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_phase_stays_in_footprint() {
+        let mut rng = Rng64::new(11);
+        for kind in PhaseKind::all() {
+            for ops in [1usize, 7, 100] {
+                let v = phase_ops(kind, &mut rng, 37, ops);
+                assert_eq!(v.len(), ops, "{} produced wrong count", kind.name());
+                assert!(v.iter().all(|o| o.line.get() < 37));
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_phase_is_fully_dependent() {
+        let mut rng = Rng64::new(5);
+        let v = phase_ops(PhaseKind::Pointer, &mut rng, 100, 50);
+        assert!(v.iter().all(|o| o.depends_on_prev && !o.is_write));
+    }
+
+    #[test]
+    fn mixed_is_deterministic_and_sized() {
+        let a = mixed_ops(42, 256, 300);
+        let b = mixed_ops(42, 256, 300);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        assert_ne!(a, mixed_ops(43, 256, 300));
+    }
+
+    #[test]
+    fn mixed_contains_reads_and_writes() {
+        let v = mixed_ops(1, 512, 1000);
+        assert!(v.iter().any(|o| o.is_write));
+        assert!(v.iter().any(|o| !o.is_write));
+        assert!(v.iter().any(|o| o.depends_on_prev));
+    }
+
+    #[test]
+    fn tiny_footprint_works() {
+        let v = mixed_ops(9, 1, 64);
+        assert!(v.iter().all(|o| o.line.get() == 0));
+    }
+}
