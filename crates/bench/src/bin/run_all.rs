@@ -9,6 +9,11 @@
 //! deterministic pass CI diffs against the committed snapshot
 //! (`crates/bench/tests/snapshots/run_all_smoke.txt`).
 //!
+//! `--trace FILE` additionally exports a Chrome-trace JSON of one
+//! representative EMCC run's critical-path attribution (open in
+//! `chrome://tracing` or Perfetto). The traced run is inline, so the
+//! file is byte-identical for any `EMCC_JOBS`.
+//!
 //! Two phases:
 //!
 //! 1. **Schedule** — every figure declares its run-matrix as
@@ -29,14 +34,32 @@ use emcc_bench::{experiments, ExpParams, FailedRun, Harness};
 
 fn main() {
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut trace: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--trace" => match it.next() {
+                Some(path) => trace = Some(path),
+                None => {
+                    eprintln!(
+                        "error: --trace needs a path\nusage: run_all [--smoke] [--trace FILE]"
+                    );
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("error: unknown flag {other}\nusage: run_all [--smoke]");
+                eprintln!("error: unknown flag {other}\nusage: run_all [--smoke] [--trace FILE]");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = &trace {
+        if let Err(e) = export_trace(path) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote critical-path trace to {path}");
     }
     let h = if smoke {
         Harness::new(ExpParams::for_scale(WorkloadScale::Test))
@@ -223,6 +246,18 @@ fn main() {
         Err(e) => eprintln!("[{total_secs:>7.1}s] BENCH_run_all.json: {e}"),
     }
     eprintln!("[{total_secs:>7.1}s] done ({misses} simulations, {hits} cache hits)");
+}
+
+/// Writes a Chrome-trace JSON (`chrome://tracing` / Perfetto) of one
+/// representative EMCC run: canneal at Test scale on the Table I
+/// configuration. The traced run executes inline — never on the worker
+/// pool — so the file is byte-identical for any `EMCC_JOBS`.
+fn export_trace(path: &str) -> std::io::Result<()> {
+    use emcc::prelude::*;
+    let cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    let sources = Benchmark::Canneal.build_scaled(7, cfg.cores, WorkloadScale::Test);
+    let (_, rec) = SecureSystem::new(cfg).run_traced(sources, 0, 2_000, 8_192);
+    std::fs::write(path, rec.chrome_json())
 }
 
 /// Hand-rolled JSON (no serde in the tree): timing + cache telemetry +

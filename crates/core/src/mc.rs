@@ -8,6 +8,7 @@ use emcc_cache::BlockKind;
 use emcc_crypto::DataBlock;
 use emcc_dram::{Dram, DramRequest, FaultModel, RequestClass};
 use emcc_secmem::{AesPool, MetadataCache, OverflowEngine, OverflowTask};
+use emcc_sim::trace::{Component, Span};
 use emcc_sim::{LineAddr, Time};
 
 use crate::report::CtrSource;
@@ -27,8 +28,9 @@ pub(crate) enum CtrOrigin {
 /// What a DRAM completion corresponds to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DramTarget {
-    /// A demand/prefetch data read for a transaction.
-    DataRead(TxnId),
+    /// A demand/prefetch data read for a transaction. `refetch` marks
+    /// integrity-recovery re-reads (they serve no new LLC miss).
+    DataRead { txn: TxnId, refetch: bool },
     /// A metadata node fetch feeding the counter transaction keyed by its
     /// level-0 block address.
     NodeFetch { ctr_block: LineAddr },
@@ -127,6 +129,8 @@ impl SecureSystem {
                     line: c.line,
                     class: c.class,
                     is_write: c.is_write,
+                    enqueued: c.enqueued,
+                    issued: c.issued,
                 },
             );
         }
@@ -142,13 +146,16 @@ impl SecureSystem {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn dram_done(
         &mut self,
         id: u64,
-        _row_hit: bool,
+        row_hit: bool,
         line: LineAddr,
         class: RequestClass,
         is_write: bool,
+        enqueued: Time,
+        issued: Time,
     ) {
         let Some(target) = self.mc.dram_targets.remove(&id) else {
             return;
@@ -165,7 +172,7 @@ impl SecureSystem {
             Some(fm)
                 if matches!(
                     target,
-                    DramTarget::DataRead(_) | DramTarget::NodeFetch { .. }
+                    DramTarget::DataRead { .. } | DramTarget::NodeFetch { .. }
                 ) =>
             {
                 fm.on_read(line, class)
@@ -178,17 +185,40 @@ impl SecureSystem {
             }
         }
         match target {
-            DramTarget::DataRead(txn_id) => {
+            DramTarget::DataRead {
+                txn: txn_id,
+                refetch,
+            } => {
                 self.report.dram_data_reads += 1;
-                if let Some(txn) = self.txns.get_mut(&txn_id) {
-                    txn.mc_data_at = Some(self.now);
-                    // Attach the corruption to the transaction; it is
-                    // counted as a consumed faulty read at the point a
-                    // verifier (or unverified delivery) observes it, so
-                    // speculative reads whose data is discarded do not
-                    // skew the detection-rate denominator.
-                    if let Some(ev) = fault {
-                        txn.corrupt = Some(ev.class);
+                if refetch {
+                    self.report.data_refetch_reads += 1;
+                }
+                match self.txns.get_mut(&txn_id) {
+                    Some(txn) => {
+                        txn.mc_data_at = Some(self.now);
+                        txn.spans
+                            .push(Span::new(Component::McQueue, enqueued, issued));
+                        let row = if row_hit {
+                            Component::DramRowHit
+                        } else {
+                            Component::DramRowMiss
+                        };
+                        txn.spans.push(Span::new(row, issued, self.now));
+                        // Attach the corruption to the transaction; it is
+                        // counted as a consumed faulty read at the point a
+                        // verifier (or unverified delivery) observes it, so
+                        // speculative reads whose data is discarded do not
+                        // skew the detection-rate denominator.
+                        if let Some(ev) = fault {
+                            txn.corrupt = Some(ev.class);
+                        }
+                    }
+                    // The transaction already completed (the LLC served it
+                    // under an XPT speculative read): wasted bandwidth.
+                    None => {
+                        if !refetch {
+                            self.report.xpt_wasted_reads += 1;
+                        }
                     }
                 }
                 self.try_ship_data(txn_id);
@@ -232,13 +262,29 @@ impl SecureSystem {
         // secure pipeline acts on the confirmed miss (Intel XPT semantics:
         // the response still flows through the normal path).
         if !dram_issued {
-            self.txns.get_mut(&txn_id).expect("txn exists").dram_issued = true;
-            self.enqueue_dram(
+            if self.enqueue_dram(
                 line,
                 false,
                 RequestClass::Data,
-                DramTarget::DataRead(txn_id),
-            );
+                DramTarget::DataRead {
+                    txn: txn_id,
+                    refetch: false,
+                },
+            ) {
+                self.txns.get_mut(&txn_id).expect("txn exists").dram_issued = true;
+            } else {
+                // DRAM queue full. Marking the read issued without a queue
+                // slot used to drop it silently, wedging the access until
+                // cutoff; retry the enqueue shortly instead (`via_xpt`
+                // skips the already-done confirmation bookkeeping).
+                self.queue.push(
+                    self.now + Time::from_ns(50),
+                    Ev::McDataReq {
+                        txn: txn_id,
+                        via_xpt: true,
+                    },
+                );
+            }
         }
         if via_xpt || already_at_mc {
             return;
@@ -248,6 +294,9 @@ impl SecureSystem {
             txn.at_mc = true;
             txn.t_mc_arrival = self.now;
             txn.from_dram = true;
+            // NoC leg: slice (where the miss was classified) to MC.
+            let from = txn.t_slice_done.unwrap_or(self.now);
+            txn.spans.push(Span::new(Component::Noc, from, self.now));
         }
         if !self.cfg.scheme.is_secure() {
             self.try_ship_data(txn_id);
@@ -271,12 +320,15 @@ impl SecureSystem {
         let lookup_done = self.now + self.cfg.mc_cache_latency;
         if self.mc.meta.lookup(block) {
             let ready = lookup_done + self.cfg.crypto.counter_decode;
-            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
-            txn.mc_ctr_ready = Some(ready);
-            txn.ctr_source = Some(CtrSource::Mc);
             // Start the OTP AES as soon as the counter is decoded.
-            let (_, otp_done) = self.mc.aes.schedule(ready);
-            txn.mc_ctr_ready = Some(otp_done);
+            let aes = self.mc.aes.schedule_span(ready);
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.mc_ctr_ready = Some(aes.end);
+            txn.ctr_source = Some(CtrSource::Mc);
+            // Metadata-cache lookup + counter decode, then the OTP AES.
+            txn.spans
+                .push(Span::new(Component::CtrFetch, self.now, ready));
+            txn.spans.push(aes);
             self.try_ship_data(txn_id);
         } else {
             self.mc_fetch_counter(block, Some(txn_id), None, Vec::new());
@@ -337,11 +389,19 @@ impl SecureSystem {
                 self.report
                     .detection_latency_ns
                     .add_time(ship_at.saturating_sub(data_at));
+                let xor = self.cfg.crypto.xor_and_compare;
                 let txn = self.txns.get_mut(&txn_id).expect("txn exists");
                 txn.corrupt = None;
                 if self.cfg.recovery.retry.should_retry(retries) {
                     txn.retries += 1;
                     txn.mc_data_at = None;
+                    // The failed MAC compare is real verify work; the
+                    // backoff gap after it shows up as unattributed time.
+                    txn.spans.push(Span::new(
+                        Component::Verify,
+                        ship_at.saturating_sub(xor),
+                        ship_at,
+                    ));
                     self.report.integrity_retries += 1;
                     let backoff = self.cfg.recovery.retry.backoff(retries);
                     self.queue
@@ -378,8 +438,18 @@ impl SecureSystem {
             },
         );
         // Mark shipped so duplicate calls do nothing.
+        let xor = self.cfg.crypto.xor_and_compare;
         let txn = self.txns.get_mut(&txn_id).expect("txn exists");
         txn.mc_data_at = None;
+        if secure {
+            // MAC compare (verified) or MAC⊕dot generation (EMCC ship).
+            txn.spans.push(Span::new(
+                Component::Verify,
+                ship_at.saturating_sub(xor),
+                ship_at,
+            ));
+        }
+        txn.t_shipped = Some(ship_at);
         if !verified {
             txn.shipped_unverified = true;
         }
@@ -573,7 +643,10 @@ impl SecureSystem {
             line,
             false,
             RequestClass::Data,
-            DramTarget::DataRead(txn_id),
+            DramTarget::DataRead {
+                txn: txn_id,
+                refetch: true,
+            },
         ) {
             // DRAM queue full: retry shortly (same pattern as writes).
             self.queue.push(
@@ -742,9 +815,16 @@ impl SecureSystem {
         if txn.done || !txn.mc_decrypt || txn.mc_ctr_ready.is_some() {
             return;
         }
-        let (_, otp_done) = self.mc.aes.schedule(ready + self.cfg.crypto.counter_decode);
+        let decoded = ready + self.cfg.crypto.counter_decode;
+        let aes = self.mc.aes.schedule_span(decoded);
         let txn = self.txns.get_mut(&txn_id).expect("txn exists");
-        txn.mc_ctr_ready = Some(otp_done);
+        txn.mc_ctr_ready = Some(aes.end);
+        // The MC-side counter wait: from this read's arrival at the MC
+        // (the walk may predate it) until the counter is decoded.
+        let from = txn.t_mc_arrival.min(decoded);
+        txn.spans
+            .push(Span::new(Component::CtrFetch, from, decoded));
+        txn.spans.push(aes);
         self.try_ship_data(txn_id);
     }
 

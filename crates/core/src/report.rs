@@ -2,7 +2,70 @@
 
 use emcc_dram::DramStats;
 use emcc_sim::stats::{ratio, Histogram, RunningMean};
+use emcc_sim::trace::Component;
 use emcc_sim::Time;
+
+/// Per-component critical-path histograms over completed data reads.
+///
+/// Each completed access contributes one sample per component: the
+/// critical nanoseconds [`attribute`](emcc_sim::trace::attribute) charged
+/// to it (zero when the component was absent or fully hidden). The
+/// per-component means are therefore a simulated Fig 5/10 latency
+/// breakdown.
+#[derive(Debug, Clone)]
+pub struct CritPathStats {
+    hists: [Histogram; Component::COUNT],
+    /// Exact picosecond totals per component (histograms quantize).
+    sum_ps: [u64; Component::COUNT],
+}
+
+impl Default for CritPathStats {
+    fn default() -> Self {
+        // 32 bins of 4 ns cover 0-128 ns, past the worst serial tree walk
+        // of Fig 5; pathological tails land in the overflow bucket.
+        CritPathStats {
+            hists: std::array::from_fn(|_| Histogram::new(0.0, 4.0, 32)),
+            sum_ps: [0; Component::COUNT],
+        }
+    }
+}
+
+impl CritPathStats {
+    /// Records one access's per-component critical time.
+    pub fn add(&mut self, per: &[Time; Component::COUNT]) {
+        for (i, t) in per.iter().enumerate() {
+            self.hists[i].add_time(*t);
+            self.sum_ps[i] += t.as_ps();
+        }
+    }
+
+    /// Histogram of critical nanoseconds for one component.
+    pub fn component(&self, comp: Component) -> &Histogram {
+        &self.hists[comp.index()]
+    }
+
+    /// Mean critical nanoseconds per access for one component.
+    pub fn mean_ns(&self, comp: Component) -> f64 {
+        self.hists[comp.index()].mean()
+    }
+
+    /// Exact critical picoseconds charged to one component.
+    pub fn sum_ps(&self, comp: Component) -> u64 {
+        self.sum_ps[comp.index()]
+    }
+
+    /// Exact critical picoseconds across all components. Equals
+    /// [`SimReport::crit_total_ps`] by the tiling law — every instant of
+    /// every attributed access is charged to exactly one component.
+    pub fn total_sum_ps(&self) -> u64 {
+        self.sum_ps.iter().sum()
+    }
+
+    /// Number of accesses recorded (count of any one histogram).
+    pub fn accesses(&self) -> u64 {
+        self.hists[0].total()
+    }
+}
 
 /// Where a data read's counter was found (Figs 6/7 categories, plus the
 /// EMCC-only L2 category).
@@ -136,6 +199,31 @@ pub struct SimReport {
     /// Latency from corrupted data arriving on-chip to its detection by a
     /// failed verification, in nanoseconds.
     pub detection_latency_ns: Histogram,
+    /// Critical-path attribution: per-component histograms of critical
+    /// nanoseconds per completed data read (simulated Fig 5/10 breakdown).
+    pub crit_path: CritPathStats,
+    /// Exact end-to-end picoseconds summed over attributed accesses; the
+    /// conservation law: equals `crit_path.total_sum_ps()`.
+    pub crit_total_ps: u64,
+    /// Critical-path attribution: recorded work hidden under other work
+    /// per completed read, in nanoseconds — EMCC's overlap credit.
+    pub overlap_credit_ns: RunningMean,
+    /// Attribution conservation: work spans recorded outside their
+    /// access window. The fuzz law demands 0.
+    pub crit_violations: u64,
+    /// DRAM data reads completed on behalf of integrity-recovery
+    /// re-fetches (these serve no *new* LLC miss).
+    pub data_refetch_reads: u64,
+    /// Completed DRAM data reads whose transaction was served by an LLC
+    /// hit instead — XPT mis-speculation observed at completion time
+    /// (`xpt_wasted` counts the same event at LLC-lookup time).
+    pub xpt_wasted_reads: u64,
+    /// Exact cutoff accounting: DRAM data reads still queued or in
+    /// flight at run end for transactions that counted an LLC miss.
+    pub dram_reads_inflight_at_cutoff: u64,
+    /// Exact cutoff accounting: LLC data misses whose DRAM read had not
+    /// yet been enqueued at run end.
+    pub unissued_misses_at_cutoff: u64,
     /// Shadow differential checker: written lines compared at the end of
     /// the run (0 when `shadow_check` is off).
     pub shadow_lines: u64,
@@ -400,6 +488,43 @@ impl SimReport {
         );
         u(&mut out, "detection_latency_overflow", h.overflow());
         f(&mut out, "detection_latency_mean", h.mean());
+        for comp in Component::ALL {
+            let h = self.crit_path.component(comp);
+            let bins: Vec<String> = (0..h.num_bins())
+                .map(|i| h.bin_count(i).to_string())
+                .collect();
+            s(
+                &mut out,
+                &format!("crit_{}_bins", comp.label()),
+                &format!("[{}]", bins.join(", ")),
+            );
+            u(
+                &mut out,
+                &format!("crit_{}_overflow", comp.label()),
+                h.overflow(),
+            );
+            f(&mut out, &format!("crit_{}_mean", comp.label()), h.mean());
+            u(
+                &mut out,
+                &format!("crit_{}_sum_ps", comp.label()),
+                self.crit_path.sum_ps(comp),
+            );
+        }
+        u(&mut out, "crit_total_ps", self.crit_total_ps);
+        mean(&mut out, "overlap_credit_ns", &self.overlap_credit_ns);
+        u(&mut out, "crit_violations", self.crit_violations);
+        u(&mut out, "data_refetch_reads", self.data_refetch_reads);
+        u(&mut out, "xpt_wasted_reads", self.xpt_wasted_reads);
+        u(
+            &mut out,
+            "dram_reads_inflight_at_cutoff",
+            self.dram_reads_inflight_at_cutoff,
+        );
+        u(
+            &mut out,
+            "unissued_misses_at_cutoff",
+            self.unissued_misses_at_cutoff,
+        );
         u(&mut out, "shadow_lines", self.shadow_lines);
         u(&mut out, "shadow_mismatches", self.shadow_mismatches);
         // Replace the trailing ",\n" with a clean close.

@@ -14,6 +14,7 @@ use emcc_noc::mesh::Node;
 use emcc_noc::SliceMap;
 use emcc_secmem::engine::split_aes_bandwidth;
 use emcc_secmem::{AesPool, FunctionalSecureMemory, MetadataCache, OverflowEngine};
+use emcc_sim::trace::{attribute, Component, Span, TraceRecorder};
 use emcc_sim::{EventQueue, LineAddr, Time};
 use emcc_workloads::TraceSource;
 
@@ -79,6 +80,9 @@ pub(crate) enum Ev {
         line: LineAddr,
         class: RequestClass,
         is_write: bool,
+        /// Queue-entry and bank-issue times (critical-path attribution).
+        enqueued: Time,
+        issued: Time,
     },
     /// Recovery: re-fetch a data line after a failed integrity check.
     DataRefetch { txn: TxnId },
@@ -191,6 +195,17 @@ pub(crate) struct DataTxn {
     /// Integrity-failure re-fetches performed for this transaction.
     pub retries: u32,
     pub done: bool,
+    /// Attribution: access start (arrival at L2 for demand misses; the
+    /// miss time itself for prefetches).
+    pub t_start: Time,
+    /// Attribution: work spans recorded along the access's lifetime,
+    /// reduced by [`attribute`] at completion.
+    pub spans: Vec<Span>,
+    /// Attribution: LLC slice lookup completion (start of the next leg).
+    pub t_slice_done: Option<Time>,
+    /// Attribution: MC ship time of the in-flight data response (start of
+    /// the response NoC legs; taken by the L2 fill).
+    pub t_shipped: Option<Time>,
 }
 
 /// The assembled system.
@@ -216,6 +231,9 @@ pub struct SecureSystem {
     pub(crate) l2_ctr_waiters: HashMap<(usize, LineAddr), Vec<TxnId>>,
     pub(crate) report: SimReport,
     pub(crate) dram_pump_at: Option<Time>,
+    /// Per-access trace ring (disabled unless [`SecureSystem::run_traced`]
+    /// is used; a disabled recorder costs one branch per completion).
+    pub(crate) tracer: TraceRecorder,
     warmup_ops: u64,
     warmup_done: bool,
     measure_start: Time,
@@ -297,6 +315,7 @@ impl SecureSystem {
             l2_ctr_waiters: HashMap::new(),
             report: SimReport::default(),
             dram_pump_at: None,
+            tracer: TraceRecorder::disabled(),
             warmup_ops: 0,
             warmup_done: true,
             measure_start: Time::ZERO,
@@ -333,6 +352,33 @@ impl SecureSystem {
         warmup_ops: u64,
         ops_per_core: u64,
     ) -> SimReport {
+        self.run_loop(sources, warmup_ops, ops_per_core);
+        self.finalize()
+    }
+
+    /// Like [`SecureSystem::run_with_warmup`], but records the last
+    /// `trace_capacity` completed accesses (raw spans + critical path) and
+    /// returns the recorder alongside the report, for Chrome-trace export.
+    ///
+    /// Timing is identical to an untraced run: recording only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` does not supply one trace per configured core.
+    pub fn run_traced(
+        mut self,
+        sources: Vec<Box<dyn TraceSource>>,
+        warmup_ops: u64,
+        ops_per_core: u64,
+        trace_capacity: usize,
+    ) -> (SimReport, TraceRecorder) {
+        self.tracer = TraceRecorder::with_capacity(trace_capacity);
+        self.run_loop(sources, warmup_ops, ops_per_core);
+        let tracer = std::mem::take(&mut self.tracer);
+        (self.finalize(), tracer)
+    }
+
+    fn run_loop(&mut self, sources: Vec<Box<dyn TraceSource>>, warmup_ops: u64, ops_per_core: u64) {
         assert_eq!(
             sources.len(),
             self.cfg.cores,
@@ -380,7 +426,6 @@ impl SecureSystem {
             self.cores.iter().filter(|c| !c.finished()).count(),
             self.now
         );
-        self.finalize()
     }
 
     fn end_warmup(&mut self) {
@@ -428,6 +473,36 @@ impl SecureSystem {
                 }
             }
         }
+        // Exact cutoff accounting: classify the LLC data misses whose DRAM
+        // read had not completed when the run ended, and completed reads
+        // that served no counted miss. With these, the fuzz oracle holds
+        //   llc_data_misses + data_refetch_reads + xpt_wasted_reads
+        //     == dram_data_reads + inflight_at_cutoff + unissued_at_cutoff
+        // as an equality for warmup-free runs (warmup resets the counters
+        // mid-flight, so warmup runs only report the fields).
+        for target in self.mc.dram_targets.values() {
+            if let crate::mc::DramTarget::DataRead {
+                txn,
+                refetch: false,
+            } = *target
+            {
+                if self.txns.get(&txn).is_some_and(|t| t.from_dram) {
+                    self.report.dram_reads_inflight_at_cutoff += 1;
+                }
+            }
+        }
+        for txn in self.txns.values() {
+            if txn.from_dram && !txn.dram_issued {
+                // Confirmed miss whose DRAM read is still waiting for a
+                // queue slot (enqueue retry pending).
+                self.report.unissued_misses_at_cutoff += 1;
+            } else if !txn.from_dram && txn.mc_data_at.is_some() {
+                // A speculative XPT read completed, but the LLC lookup had
+                // not classified the access by cutoff — the read serves no
+                // counted miss.
+                self.report.xpt_wasted_reads += 1;
+            }
+        }
         // Counter lines still resident at simulation end are *not*
         // classified: the paper's Fig 11 counts lines "never used ...
         // between the time the counter is inserted into L2 and is evicted
@@ -471,7 +546,9 @@ impl SecureSystem {
                 line,
                 class,
                 is_write,
-            } => self.dram_done(id, row_hit, line, class, is_write),
+                enqueued,
+                issued,
+            } => self.dram_done(id, row_hit, line, class, is_write, enqueued, issued),
             Ev::DataRefetch { txn } => self.data_refetch(txn),
             Ev::CtrRefetch { block } => self.ctr_refetch(block),
         }
@@ -653,6 +730,18 @@ impl SecureSystem {
         // predicted miss.
         let xpt_forwarded = self.cfg.xpt_enabled && self.xpt[core].predict_miss(line);
 
+        // Attribution window: demand misses start at L2 arrival (the tag
+        // lookup is on the critical path); prefetches start at the miss.
+        let t_start = if is_prefetch {
+            t_miss
+        } else {
+            t_miss.saturating_sub(self.cfg.l2_latency)
+        };
+        let mut spans = Vec::new();
+        if !is_prefetch {
+            spans.push(Span::new(Component::L2Lookup, t_start, t_miss));
+        }
+
         self.txns.insert(
             id,
             DataTxn {
@@ -678,6 +767,10 @@ impl SecureSystem {
                 corrupt: None,
                 retries: 0,
                 done: false,
+                t_start,
+                spans,
+                t_slice_done: None,
+                t_shipped: None,
             },
         );
 
@@ -723,6 +816,9 @@ impl SecureSystem {
             let txn = self.txns.get_mut(&txn_id).expect("txn exists");
             txn.l2_ctr_ready = Some(self.now);
             txn.ctr_source = Some(CtrSource::L2);
+            // Counter availability: the serial L2 lookup after the miss.
+            txn.spans
+                .push(Span::new(Component::CtrFetch, t_miss, self.now));
             let start = self.now.max(t_miss + self.cfg.emcc.aes_start_wait);
             self.queue.push(start, Ev::L2AesStart { txn: txn_id });
         } else {
@@ -756,6 +852,8 @@ impl SecureSystem {
         }
         let line = txn.line;
         let core = txn.core;
+        let t_miss = txn.t_miss;
+        let xpt_forwarded = txn.xpt_forwarded;
         let slice = self.slice_of(line);
         let t_lookup = self.now + self.cfg.llc_sram_latency;
         // Inclusive mode: a hit on an *encrypted & unverified* line cannot
@@ -769,14 +867,27 @@ impl SecureSystem {
         if unverified_hit {
             self.report.llc_unverified_hits += 1;
         }
+        {
+            // Request leg + slice SRAM lookup sit on every miss's path.
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.spans.push(Span::new(Component::Noc, t_miss, self.now));
+            txn.spans
+                .push(Span::new(Component::LlcLookup, self.now, t_lookup));
+            txn.t_slice_done = Some(t_lookup);
+        }
         if hit {
             self.report.llc_data_hits += 1;
-            if txn.xpt_forwarded {
+            if xpt_forwarded {
                 self.report.xpt_wasted += 1;
             }
             // LLC data is plaintext (it was decrypted on its way into L2
             // originally); respond directly.
             let t = t_lookup + self.noc_l2_slice(core, slice, true);
+            self.txns
+                .get_mut(&txn_id)
+                .expect("txn exists")
+                .spans
+                .push(Span::new(Component::Noc, t_lookup, t));
             self.queue.push(
                 t,
                 Ev::L2Fill {
@@ -904,6 +1015,11 @@ impl SecureSystem {
         if txn.done {
             return;
         }
+        // Response NoC legs from the MC ship (LLC-hit responses recorded
+        // their leg at the slice).
+        if let Some(shipped) = txn.t_shipped.take() {
+            txn.spans.push(Span::new(Component::Noc, shipped, self.now));
+        }
         if verified {
             self.complete_txn(txn_id, self.now);
             return;
@@ -972,6 +1088,10 @@ impl SecureSystem {
             if txn.ctr_source.is_none() {
                 txn.ctr_source = Some(CtrSource::Llc);
             }
+            // The parallel counter fetch ran from the miss (L2 lookup,
+            // LLC/MC round trip) until the block arrived here.
+            txn.spans
+                .push(Span::new(Component::CtrFetch, txn.t_miss, self.now));
             let start = self.now.max(txn.t_miss + self.cfg.emcc.aes_start_wait);
             self.queue.push(start, Ev::L2AesStart { txn: txn_id });
         }
@@ -994,7 +1114,8 @@ impl SecureSystem {
             return;
         };
         let qd = pool.queue_delay(self.now + decode);
-        let (_, done) = pool.schedule(self.now + decode);
+        let aes = pool.schedule_span(self.now + decode);
+        let done = aes.end;
         self.report.l2_aes_queue_ns.add_time(qd);
         if self.txns[&txn_id].aes_reserved {
             self.txns.get_mut(&txn_id).expect("txn exists").aes_reserved = false;
@@ -1003,6 +1124,10 @@ impl SecureSystem {
         let txn = self.txns.get_mut(&txn_id).expect("txn exists");
         txn.aes_started = true;
         txn.aes_done = Some(done);
+        // Counter decode, then the (possibly queued) OTP AES.
+        txn.spans
+            .push(Span::new(Component::CtrFetch, self.now, self.now + decode));
+        txn.spans.push(aes);
         // The counter's value is consumed now: mark the cached counter
         // line used (AES only starts once an LLC hit has been ruled out).
         let line = txn.line;
@@ -1025,6 +1150,18 @@ impl SecureSystem {
             return;
         }
         let core = txn.core;
+        {
+            // Local XOR + MAC compare ends now, whether it passed or
+            // detected corruption.
+            let xor = self.cfg.crypto.xor_and_compare;
+            let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+            txn.spans.push(Span::new(
+                Component::Verify,
+                self.now.saturating_sub(xor),
+                self.now,
+            ));
+        }
+        let txn = self.txns.get(&txn_id).expect("txn exists");
         if txn.corrupt.is_some() {
             // L2-side detection: the locally recomputed MAC half cannot
             // match corrupted ciphertext. Count, then either retry via the
@@ -1091,11 +1228,35 @@ impl SecureSystem {
         let line = txn.line;
         let is_prefetch = txn.is_prefetch;
         let t_miss = txn.t_miss;
+        let t_start = txn.t_start;
         let from_dram = txn.from_dram;
         let ctr_source = txn.ctr_source;
+        // A speculative XPT read that completed for an access the LLC
+        // served: wasted DRAM bandwidth, observed at completion.
+        let xpt_read_wasted = !from_dram && txn.mc_data_at.is_some();
+        let mut spans = std::mem::take(&mut txn.spans);
         if txn.aes_reserved {
             txn.aes_reserved = false;
             self.l2[core].aes_reserved = self.l2[core].aes_reserved.saturating_sub(1);
+        }
+
+        // Critical-path attribution. Scheduled work can legitimately
+        // outlive the access (eager AES whose data came back verified from
+        // an LLC hit), so ends are truncated at completion; `attribute`
+        // still flags starts outside the window and inverted spans.
+        for s in &mut spans {
+            s.end = s.end.min(t);
+        }
+        spans.retain(|s| s.start < t);
+        let att = attribute(t_start, t, &spans);
+        self.report.crit_path.add(&att.per_component());
+        self.report.crit_total_ps += t.saturating_sub(t_start).as_ps();
+        self.report.overlap_credit_ns.add_time(att.overlap);
+        self.report.crit_violations += u64::from(att.violations);
+        self.tracer
+            .record(core as u32, line.get(), t_start, t, &spans, &att);
+        if xpt_read_wasted {
+            self.report.xpt_wasted_reads += 1;
         }
 
         if from_dram {

@@ -7,6 +7,7 @@
 //! can be regenerated and checked as numbers.
 
 use emcc_crypto::CryptoLatencies;
+use emcc_sim::trace::{Component, Span};
 use emcc_sim::Time;
 
 /// Latency constants of the timeline model (paper §III values).
@@ -189,6 +190,191 @@ impl Timeline {
         Timeline { segments, total }
     }
 
+    /// Expresses a scenario as the component work spans the simulator's
+    /// critical-path recorder would see, using the same arithmetic as
+    /// [`Timeline::compose`].
+    ///
+    /// Feeding these spans through [`emcc_sim::trace::attribute`] over
+    /// `[0, total)` must tile the composed total exactly: the analytic
+    /// timelines and the simulator's attribution sweep share one span
+    /// algebra, so each figure's breakdown doubles as an oracle for the
+    /// recorder (and vice versa).
+    pub fn spans(scenario: TimelineScenario, p: &TimelineParams) -> Vec<Span> {
+        let crypt = p.crypto.aes;
+        let xor = p.crypto.xor_and_compare;
+        let mut spans = Vec::new();
+        match scenario {
+            TimelineScenario::CtrMissNoLlcCaching => {
+                spans.push(Span::new(
+                    Component::DramRowMiss,
+                    Time::ZERO,
+                    p.dram_row_miss,
+                ));
+                let ctr_done = p.mc_ctr_cache + p.dram_row_miss;
+                spans.push(Span::new(Component::CtrFetch, Time::ZERO, ctr_done));
+                spans.push(Span::new(Component::Aes, ctr_done, ctr_done + crypt));
+                let ship = (ctr_done + crypt).max(p.dram_row_miss);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::CtrMissLlcCaching => {
+                spans.push(Span::new(
+                    Component::DramRowMiss,
+                    Time::ZERO,
+                    p.dram_row_miss,
+                ));
+                let ctr_done = p.mc_ctr_cache + p.direct_llc + p.dram_row_miss;
+                spans.push(Span::new(Component::CtrFetch, Time::ZERO, ctr_done));
+                spans.push(Span::new(Component::Aes, ctr_done, ctr_done + crypt));
+                let ship = (ctr_done + crypt).max(p.dram_row_miss);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::CtrHitInMc => {
+                spans.push(Span::new(
+                    Component::DramRowMiss,
+                    Time::ZERO,
+                    p.dram_row_miss,
+                ));
+                spans.push(Span::new(Component::CtrFetch, Time::ZERO, p.mc_ctr_cache));
+                spans.push(Span::new(
+                    Component::Aes,
+                    p.mc_ctr_cache,
+                    p.mc_ctr_cache + crypt,
+                ));
+                let ship = (p.mc_ctr_cache + crypt).max(p.dram_row_miss);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::CtrHitInLlcBaseline => {
+                spans.push(Span::new(
+                    Component::DramRowMiss,
+                    Time::ZERO,
+                    p.dram_row_miss,
+                ));
+                let ctr_done = p.mc_ctr_cache + p.direct_llc;
+                spans.push(Span::new(Component::CtrFetch, Time::ZERO, ctr_done));
+                spans.push(Span::new(Component::Aes, ctr_done, ctr_done + crypt));
+                let ship = (ctr_done + crypt).max(p.dram_row_miss);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::EmccCtrMissLlc => {
+                // Data: L2 → LLC (miss) → MC → DRAM → L2.
+                let noc = p.noc_one_way;
+                spans.push(Span::new(Component::L2Lookup, Time::ZERO, p.l2_lookup));
+                spans.push(Span::new(Component::Noc, p.l2_lookup, p.l2_lookup + noc));
+                let at_slice = p.l2_lookup + noc;
+                let slice_done = at_slice + p.llc_lookup();
+                spans.push(Span::new(Component::LlcLookup, at_slice, slice_done));
+                let data_at_mc = slice_done + noc;
+                spans.push(Span::new(Component::Noc, slice_done, data_at_mc));
+                let dram_done = data_at_mc + p.dram_row_miss;
+                spans.push(Span::new(Component::DramRowMiss, data_at_mc, dram_done));
+                let data_done = dram_done + noc + noc;
+                spans.push(Span::new(Component::Noc, dram_done, data_done));
+                // Counter: parallel fetch (delayed by J) ending in AES at
+                // the MC, where the counter is verified and used.
+                let ctr_fetched = p.l2_ctr_lookup + noc + p.llc_lookup() + noc + p.dram_row_miss;
+                spans.push(Span::new(Component::CtrFetch, p.l2_ctr_lookup, ctr_fetched));
+                let ctr_done = ctr_fetched + crypt;
+                spans.push(Span::new(Component::Aes, ctr_fetched, ctr_done));
+                let ship = data_done.max(ctr_done);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::EmccCtrHitLlc => {
+                let noc = p.noc_one_way;
+                spans.push(Span::new(Component::L2Lookup, Time::ZERO, p.l2_lookup));
+                spans.push(Span::new(Component::Noc, p.l2_lookup, p.l2_lookup + noc));
+                let at_slice = p.l2_lookup + noc;
+                let slice_done = at_slice + p.llc_lookup();
+                spans.push(Span::new(Component::LlcLookup, at_slice, slice_done));
+                let data_at_mc = slice_done + noc;
+                spans.push(Span::new(Component::Noc, slice_done, data_at_mc));
+                let dram_done = data_at_mc + p.dram_row_hit;
+                spans.push(Span::new(Component::DramRowHit, data_at_mc, dram_done));
+                let data_done = dram_done + noc + noc;
+                spans.push(Span::new(Component::Noc, dram_done, data_done));
+                // Counter returns to the L2 (LLC hit), AES runs at the L2.
+                let ctr_at_l2 = p.l2_ctr_lookup + noc + p.llc_lookup() + noc;
+                let decoded = ctr_at_l2 + p.crypto.counter_decode;
+                spans.push(Span::new(Component::CtrFetch, p.l2_ctr_lookup, decoded));
+                let aes_done = decoded + crypt;
+                spans.push(Span::new(Component::Aes, decoded, aes_done));
+                let ship = data_done.max(aes_done);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::BaselineCtrHitLlc => {
+                let noc = p.noc_one_way;
+                spans.push(Span::new(Component::L2Lookup, Time::ZERO, p.l2_lookup));
+                spans.push(Span::new(Component::Noc, p.l2_lookup, p.l2_lookup + noc));
+                let at_slice = p.l2_lookup + noc;
+                let slice_done = at_slice + p.llc_lookup();
+                spans.push(Span::new(Component::LlcLookup, at_slice, slice_done));
+                let data_at_mc = slice_done + noc;
+                spans.push(Span::new(Component::Noc, slice_done, data_at_mc));
+                let dram_done = data_at_mc + p.dram_row_hit;
+                spans.push(Span::new(Component::DramRowHit, data_at_mc, dram_done));
+                // MC starts its counter pipeline only after the confirmed
+                // miss arrives; the data cannot ship to L2 before crypt.
+                let ctr_fetched =
+                    data_at_mc + p.mc_ctr_cache + p.direct_llc + p.crypto.counter_decode;
+                spans.push(Span::new(Component::CtrFetch, data_at_mc, ctr_fetched));
+                let ctr_done = ctr_fetched + crypt;
+                spans.push(Span::new(Component::Aes, ctr_fetched, ctr_done));
+                let ship = ctr_done.max(dram_done);
+                spans.push(Span::new(Component::Noc, ship, ship + noc + noc));
+                spans.push(Span::new(
+                    Component::Verify,
+                    ship + noc + noc,
+                    ship + noc + noc + xor,
+                ));
+            }
+            TimelineScenario::EmccXptRowMiss => {
+                let noc = p.noc_one_way;
+                spans.push(Span::new(Component::L2Lookup, Time::ZERO, p.l2_lookup));
+                let data_at_mc = p.l2_lookup + noc;
+                spans.push(Span::new(Component::Noc, p.l2_lookup, data_at_mc));
+                let dram_done = data_at_mc + p.dram_row_miss;
+                spans.push(Span::new(Component::DramRowMiss, data_at_mc, dram_done));
+                let data_done = dram_done + noc + noc;
+                spans.push(Span::new(Component::Noc, dram_done, data_done));
+                let ctr_at_l2 = p.l2_ctr_lookup + noc + p.llc_lookup() + noc;
+                let decoded = ctr_at_l2 + p.crypto.counter_decode;
+                spans.push(Span::new(Component::CtrFetch, p.l2_ctr_lookup, decoded));
+                let aes_done = decoded + crypt;
+                spans.push(Span::new(Component::Aes, decoded, aes_done));
+                let ship = data_done.max(aes_done);
+                spans.push(Span::new(Component::Verify, ship, ship + xor));
+            }
+            TimelineScenario::BaselineXptRowMiss => {
+                let noc = p.noc_one_way;
+                spans.push(Span::new(Component::L2Lookup, Time::ZERO, p.l2_lookup));
+                let data_at_mc = p.l2_lookup + noc;
+                spans.push(Span::new(Component::Noc, p.l2_lookup, data_at_mc));
+                let dram_done = data_at_mc + p.dram_row_miss;
+                spans.push(Span::new(Component::DramRowMiss, data_at_mc, dram_done));
+                // The confirmed miss travels L2 → LLC → MC in parallel with
+                // the XPT-triggered DRAM read; the MC's serial counter
+                // pipeline starts only when it arrives.
+                let at_slice = p.l2_lookup + noc;
+                let slice_done = at_slice + p.llc_lookup();
+                spans.push(Span::new(Component::LlcLookup, at_slice, slice_done));
+                let confirm_at_mc = slice_done + noc;
+                spans.push(Span::new(Component::Noc, slice_done, confirm_at_mc));
+                let ctr_fetched =
+                    confirm_at_mc + p.mc_ctr_cache + p.direct_llc + p.crypto.counter_decode;
+                spans.push(Span::new(Component::CtrFetch, confirm_at_mc, ctr_fetched));
+                let ctr_done = ctr_fetched + crypt;
+                spans.push(Span::new(Component::Aes, ctr_fetched, ctr_done));
+                let ship = ctr_done.max(dram_done);
+                spans.push(Span::new(Component::Noc, ship, ship + noc + noc));
+                spans.push(Span::new(
+                    Component::Verify,
+                    ship + noc + noc,
+                    ship + noc + noc + xor,
+                ));
+            }
+        }
+        spans
+    }
+
     /// Renders the timeline as indented text rows.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -214,9 +400,107 @@ impl TimelineParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emcc_sim::trace::attribute;
 
     fn p() -> TimelineParams {
         TimelineParams::default()
+    }
+
+    const ALL_SCENARIOS: [TimelineScenario; 9] = [
+        TimelineScenario::CtrMissNoLlcCaching,
+        TimelineScenario::CtrMissLlcCaching,
+        TimelineScenario::CtrHitInMc,
+        TimelineScenario::CtrHitInLlcBaseline,
+        TimelineScenario::EmccCtrMissLlc,
+        TimelineScenario::EmccCtrHitLlc,
+        TimelineScenario::BaselineCtrHitLlc,
+        TimelineScenario::EmccXptRowMiss,
+        TimelineScenario::BaselineXptRowMiss,
+    ];
+
+    #[test]
+    fn span_algebra_closes_every_scenario() {
+        // The closure: for every figure, the span set fed through the
+        // simulator's attribution sweep explains the composed total with
+        // no gaps (zero `Other` time) and no clamped spans.
+        for sc in ALL_SCENARIOS {
+            let t = Timeline::compose(sc, &p());
+            let att = attribute(Time::ZERO, t.total, &Timeline::spans(sc, &p()));
+            assert_eq!(att.violations, 0, "{sc:?}: span outside [0, total)");
+            assert_eq!(att.total(), t.total, "{sc:?}: segments must tile the total");
+            let per = att.per_component();
+            assert_eq!(
+                per[Component::Other.index()],
+                Time::ZERO,
+                "{sc:?}: unexplained gap in the critical path"
+            );
+            assert_eq!(att.end(), Some(t.total), "{sc:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_serial_breakdown_pins_counter_fetch_critical() {
+        // Fig 5 (upper, no LLC caching) at default params: the serial
+        // counter fetch (3 ns MC$ + 30 ns DRAM) is critical for 33 ns and
+        // fully hides the data's row miss; AES adds 14 ns, verify 1 ns.
+        let t = Timeline::compose(TimelineScenario::CtrMissNoLlcCaching, &p());
+        assert_eq!(t.total, Time::from_ns(48));
+        let att = attribute(
+            Time::ZERO,
+            t.total,
+            &Timeline::spans(TimelineScenario::CtrMissNoLlcCaching, &p()),
+        );
+        let per = att.per_component();
+        assert_eq!(per[Component::CtrFetch.index()], Time::from_ns(33));
+        assert_eq!(per[Component::DramRowMiss.index()], Time::ZERO);
+        assert_eq!(per[Component::Aes.index()], Time::from_ns(14));
+        assert_eq!(per[Component::Verify.index()], Time::from_ns(1));
+        // The hidden data read is exactly the overlap credit.
+        assert_eq!(att.overlap, Time::from_ns(30));
+    }
+
+    #[test]
+    fn fig10_emcc_breakdown_overlaps_counter_miss() {
+        // Fig 10a at default params (total 69 ns): the parallel counter
+        // fetch is critical only until the data's DRAM read overtakes it,
+        // and AES pokes out a mere 2 ns before the return NoC leg covers
+        // the rest — the attribution sweep reproduces that story exactly.
+        let t = Timeline::compose(TimelineScenario::EmccCtrMissLlc, &p());
+        assert_eq!(t.total, Time::from_ns(69));
+        let att = attribute(
+            Time::ZERO,
+            t.total,
+            &Timeline::spans(TimelineScenario::EmccCtrMissLlc, &p()),
+        );
+        let per = att.per_component();
+        assert_eq!(per[Component::L2Lookup.index()], Time::from_ns(2));
+        assert_eq!(per[Component::CtrFetch.index()], Time::from_ns(21));
+        assert_eq!(per[Component::DramRowMiss.index()], Time::from_ns(28));
+        assert_eq!(per[Component::Aes.index()], Time::from_ns(2));
+        assert_eq!(per[Component::Noc.index()], Time::from_ns(15));
+        assert_eq!(per[Component::Verify.index()], Time::from_ns(1));
+    }
+
+    #[test]
+    fn fig13_attribution_shows_aes_hidden_only_under_emcc() {
+        // Fig 13: with an LLC counter hit, EMCC's eager AES at the L2 is
+        // fully buried under the data return (zero critical AES time);
+        // the baseline pays all 14 ns of AES after the serial fetch.
+        let emcc = attribute(
+            Time::ZERO,
+            Timeline::compose(TimelineScenario::EmccCtrHitLlc, &p()).total,
+            &Timeline::spans(TimelineScenario::EmccCtrHitLlc, &p()),
+        );
+        assert_eq!(emcc.per_component()[Component::Aes.index()], Time::ZERO);
+        let base = attribute(
+            Time::ZERO,
+            Timeline::compose(TimelineScenario::BaselineCtrHitLlc, &p()).total,
+            &Timeline::spans(TimelineScenario::BaselineCtrHitLlc, &p()),
+        );
+        assert_eq!(
+            base.per_component()[Component::Aes.index()],
+            Time::from_ns(14)
+        );
     }
 
     #[test]

@@ -125,6 +125,74 @@ fn writes_eventually_reach_dram() {
 }
 
 #[test]
+fn attribution_conserves_latency_across_schemes() {
+    use emcc_sim::trace::Component;
+    for scheme in SecurityScheme::all() {
+        let r = run(scheme, Benchmark::Canneal, 3_000);
+        assert!(r.crit_path.accesses() > 0, "{scheme}: nothing attributed");
+        assert_eq!(r.crit_violations, 0, "{scheme}: span outside its window");
+        // Tiling law, exact in picoseconds: every attributed instant is
+        // charged to exactly one component.
+        assert_eq!(
+            r.crit_path.total_sum_ps(),
+            r.crit_total_ps,
+            "{scheme}: attributed segments do not tile end-to-end latency"
+        );
+        // DRAM-served reads must charge some time to the memory system.
+        if r.dram_data_reads > 0 {
+            assert!(
+                r.crit_path.sum_ps(Component::DramRowHit)
+                    + r.crit_path.sum_ps(Component::DramRowMiss)
+                    > 0,
+                "{scheme}: no DRAM time on the critical path"
+            );
+        }
+    }
+}
+
+#[test]
+fn emcc_earns_overlap_credit() {
+    // EMCC's point: counter fetch + AES run under the data fetch. The
+    // recorder must see that hidden work as overlap credit.
+    let r = run(SecurityScheme::Emcc, Benchmark::Canneal, 4_000);
+    assert!(r.overlap_credit_ns.count() > 0);
+    assert!(
+        r.overlap_credit_ns.sum() > 0.0,
+        "EMCC runs must hide work under the data fetch"
+    );
+}
+
+#[test]
+fn exact_cutoff_accounting_holds_without_warmup() {
+    for scheme in SecurityScheme::all() {
+        let r = run(scheme, Benchmark::Canneal, 3_000);
+        assert_eq!(
+            r.llc_data_misses + r.data_refetch_reads + r.xpt_wasted_reads,
+            r.dram_data_reads + r.dram_reads_inflight_at_cutoff + r.unissued_misses_at_cutoff,
+            "{scheme}: LLC-miss/DRAM-read ledger out of balance"
+        );
+    }
+}
+
+#[test]
+fn traced_run_matches_untraced_and_exports_chrome_json() {
+    let cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    let sources = Benchmark::Canneal.build_scaled(7, cfg.cores, WorkloadScale::Test);
+    let plain = SecureSystem::new(cfg).run(sources, 2_000);
+
+    let cfg = SystemConfig::table_i(SecurityScheme::Emcc);
+    let sources = Benchmark::Canneal.build_scaled(7, cfg.cores, WorkloadScale::Test);
+    let (traced, rec) = SecureSystem::new(cfg).run_traced(sources, 0, 2_000, 256);
+
+    // Recording only observes: reports must be byte-identical.
+    assert_eq!(plain.canonical_json(), traced.canonical_json());
+    assert!(!rec.is_empty());
+    let json = rec.chrome_json();
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"name\":\"thread_name\""));
+}
+
+#[test]
 fn deterministic_across_runs() {
     let a = run(SecurityScheme::Emcc, Benchmark::Omnetpp, 2_000);
     let b = run(SecurityScheme::Emcc, Benchmark::Omnetpp, 2_000);

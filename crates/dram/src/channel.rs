@@ -23,6 +23,11 @@ pub struct Completion {
     pub line: LineAddr,
     /// True if the access hit an open row buffer.
     pub row_hit: bool,
+    /// When the request entered the channel queue (critical-path
+    /// attribution: `issued - enqueued` is the scheduling delay).
+    pub enqueued: Time,
+    /// When the scheduler issued the request to a bank.
+    pub issued: Time,
 }
 
 /// Result of running a channel's scheduler.
@@ -263,6 +268,8 @@ impl DramChannel {
             class: pending.req.class,
             line: pending.req.line,
             row_hit: outcome == RowOutcome::Hit,
+            enqueued: pending.enqueued_at,
+            issued: now,
         }
     }
 

@@ -4,6 +4,7 @@
 //! fuzz_sim [--cases N] [--seed S] [--smoke] [--out FILE]
 //!          [--corpus-dir DIR] [--replay FILE]
 //!          [--emit FILE --case-seed S]
+//!          [--trace FILE [--case-seed S]]
 //! ```
 //!
 //! Case `i` of a campaign fuzzes `FuzzCase::generate(mix(seed, i))`; the
@@ -14,6 +15,12 @@
 //! `--emit` materializes the case for one *case seed* (the `seed` column
 //! of a verdict line) as a corpus file, so any campaign case can be
 //! turned into a replayable regression file after the fact.
+//!
+//! `--trace` runs one case (case 0 of the campaign, or `--case-seed S`)
+//! under EMCC/Morphable with the critical-path recorder on and writes
+//! the per-access spans as Chrome-trace JSON (`chrome://tracing` /
+//! Perfetto). The traced run is inline, so the file is byte-identical
+//! for any `EMCC_JOBS`.
 //!
 //! On the first oracle failure the offending case is shrunk to a minimal
 //! reproducer, persisted under the corpus directory, and the process
@@ -38,13 +45,15 @@ struct Args {
     corpus_dir: PathBuf,
     replay: Option<PathBuf>,
     emit: Option<PathBuf>,
+    trace: Option<PathBuf>,
     case_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz_sim [--cases N] [--seed S] [--smoke] [--out FILE] \
-         [--corpus-dir DIR] [--replay FILE] [--emit FILE --case-seed S]"
+         [--corpus-dir DIR] [--replay FILE] [--emit FILE --case-seed S] \
+         [--trace FILE [--case-seed S]]"
     );
     std::process::exit(2)
 }
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
         corpus_dir: default_corpus_dir(),
         replay: None,
         emit: None,
+        trace: None,
         case_seed: None,
     };
     let mut it = std::env::args().skip(1);
@@ -86,6 +96,7 @@ fn parse_args() -> Args {
             "--corpus-dir" => args.corpus_dir = PathBuf::from(value("a path")),
             "--replay" => args.replay = Some(PathBuf::from(value("a path"))),
             "--emit" => args.emit = Some(PathBuf::from(value("a path"))),
+            "--trace" => args.trace = Some(PathBuf::from(value("a path"))),
             "--case-seed" => {
                 args.case_seed = Some(parse_seed(&value("a seed")).unwrap_or_else(|| usage()));
             }
@@ -129,6 +140,10 @@ fn main() -> ExitCode {
         }
         eprintln!("emitted case {case_seed:#x} to {}", path.display());
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.trace {
+        return export_trace(path, &args);
     }
 
     if let Some(path) = &args.replay {
@@ -202,6 +217,34 @@ fn main() -> ExitCode {
         // panic aborts the battery) — still a red campaign.
         return ExitCode::from(1);
     }
+    ExitCode::SUCCESS
+}
+
+/// Runs one case with the critical-path recorder enabled and writes its
+/// Chrome-trace JSON. The run is inline (single-threaded), so the output
+/// is byte-identical regardless of `EMCC_JOBS`.
+fn export_trace(path: &std::path::Path, args: &Args) -> ExitCode {
+    use emcc::counters::CounterDesign;
+    use emcc::secmem::SecurityScheme;
+    use emcc::system::SecureSystem;
+
+    let case_seed = args.case_seed.unwrap_or_else(|| mix(args.seed, 0));
+    let case = FuzzCase::generate(case_seed);
+    let cfg = case.system_config(SecurityScheme::Emcc, CounterDesign::Morphable);
+    let (report, rec) =
+        SecureSystem::new(cfg).run_traced(case.sources(), 0, case.ops_per_core, 65_536);
+    if let Err(e) = std::fs::write(path, rec.chrome_json()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "traced case {case_seed:#018x}: {} accesses recorded ({} dropped), \
+         {} attribution violations, wrote {}",
+        rec.len(),
+        rec.dropped(),
+        report.crit_violations,
+        path.display()
+    );
     ExitCode::SUCCESS
 }
 

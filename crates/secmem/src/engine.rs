@@ -86,6 +86,13 @@ impl AesPool {
         (start, start + self.latency)
     }
 
+    /// Schedules one block operation and returns it as an AES work span
+    /// for critical-path attribution.
+    pub fn schedule_span(&mut self, now: Time) -> emcc_sim::trace::Span {
+        let (start, done) = self.schedule(now);
+        emcc_sim::trace::Span::new(emcc_sim::trace::Component::Aes, start, done)
+    }
+
     /// Total operations scheduled.
     pub fn scheduled(&self) -> u64 {
         self.scheduled

@@ -33,9 +33,11 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use mem::{LineAddr, PhysAddr};
 pub use queue::EventQueue;
 pub use rng::Rng64;
 pub use stats::{Histogram, RunningMean};
 pub use time::Time;
+pub use trace::{attribute, Attribution, Component, Span, TraceRecorder};

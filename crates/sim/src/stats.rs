@@ -117,6 +117,7 @@ pub struct Histogram {
     width: f64,
     bins: Vec<u64>,
     overflow: u64,
+    nan: u64,
     mean: RunningMean,
 }
 
@@ -143,12 +144,22 @@ impl Histogram {
             width,
             bins: vec![0; nbins],
             overflow: 0,
+            nan: 0,
             mean: RunningMean::new(),
         }
     }
 
     /// Adds one sample.
+    ///
+    /// A NaN sample is counted in [`Histogram::nan_count`] and excluded
+    /// from the bins and the mean — every comparison against NaN is false,
+    /// so it would otherwise fall through the binning tests into bin 0 and
+    /// poison the mean permanently.
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         self.mean.add(x);
         let idx = (x - self.origin) / self.width;
         if idx < 0.0 {
@@ -189,7 +200,12 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total number of samples.
+    /// NaN samples rejected by [`Histogram::add`].
+    pub fn nan_count(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total number of (non-NaN) samples.
     pub fn total(&self) -> u64 {
         self.mean.count()
     }
@@ -218,13 +234,18 @@ impl Histogram {
 
     /// Approximate p-th percentile (0..=100) from bin midpoints.
     ///
-    /// Returns `None` when the histogram is empty.
+    /// Returns `None` when the histogram is empty, and `None` when the
+    /// requested rank lands in the open-ended overflow bin — the overflow
+    /// bin has no upper edge, so it has no midpoint to report. (Ranks are
+    /// computed over all samples *including* overflow, so a
+    /// mostly-overflowed distribution signals overflow instead of
+    /// misreporting the last regular bin's midpoint as p50/p99.)
     pub fn percentile(&self, p: f64) -> Option<f64> {
         let total = self.total();
         if total == 0 {
             return None;
         }
-        let target = (p / 100.0 * total as f64).ceil() as u64;
+        let target = ((p / 100.0 * total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &c) in self.bins.iter().enumerate() {
             acc += c;
@@ -232,7 +253,7 @@ impl Histogram {
                 return Some(self.bin_lower(i) + self.width / 2.0);
             }
         }
-        Some(self.bin_lower(self.bins.len() - 1) + self.width / 2.0)
+        None
     }
 }
 
@@ -349,6 +370,38 @@ mod tests {
         assert_eq!(h.percentile(100.0), Some(9.5));
         let empty = Histogram::new(0.0, 1.0, 4);
         assert_eq!(empty.percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_rejects_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(1.5);
+        h.add(f64::NAN);
+        h.add(2.5);
+        // The NaN sample is counted separately — not in bin 0, and not in
+        // the mean (regression: `NaN < 0.0` is false and `NaN as usize`
+        // is 0, so it used to land in bin 0 and poison the mean forever).
+        assert_eq!(h.nan_count(), 1);
+        assert_eq!(h.bin_count(0), 0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.percentile(50.0), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_percentile_overflow() {
+        // 1 in-range sample, 9 overflowed: p50 and p99 live in the
+        // open-ended overflow bin and must be signalled, not reported as
+        // the last regular bin's midpoint (regression).
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.5);
+        for _ in 0..9 {
+            h.add(100.0);
+        }
+        assert_eq!(h.overflow(), 9);
+        assert_eq!(h.percentile(10.0), Some(0.5));
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
     }
 
     #[test]

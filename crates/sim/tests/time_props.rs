@@ -1,0 +1,45 @@
+//! Property tests for cycle-to-time conversion.
+//!
+//! `Frequency::cycles` truncates to whole picoseconds, so splitting a
+//! cycle count across calls can only lose time, never gain it, and loses
+//! strictly less than one picosecond per extra call. `CycleAccumulator`
+//! exists to make repeated-cycle advancement exact; the properties pin
+//! both the truncation bound and the accumulator's exactness.
+
+use emcc_sim::time::{Frequency, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Truncation bound: `cycles(a) + cycles(b)` never exceeds
+    /// `cycles(a + b)` and falls short by less than 1 ps (each call
+    /// truncates a sub-picosecond remainder, and two remainders sum to
+    /// under 2/16ths-of-16 = 2 ps only when both are nonzero, in which
+    /// case the combined call keeps at most one).
+    #[test]
+    fn split_cycles_bounded_by_combined(
+        ghz_tenths in 1u64..=80,
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+    ) {
+        let f = Frequency::from_ghz(ghz_tenths as f64 / 10.0);
+        let split = f.cycles(a) + f.cycles(b);
+        let combined = f.cycles(a + b);
+        prop_assert!(split <= combined);
+        prop_assert!(combined - split < Time::from_ps(1) + Time::from_ps(1));
+    }
+
+    /// The accumulator is exact: advancing by any split of a cycle count
+    /// sums to exactly `cycles(total)`, independent of the split.
+    #[test]
+    fn accumulator_split_invariant(
+        ghz_tenths in 1u64..=80,
+        parts in prop::collection::vec(0u64..5_000, 1..=24),
+    ) {
+        let f = Frequency::from_ghz(ghz_tenths as f64 / 10.0);
+        let mut acc = f.accumulator();
+        let advanced: Time = parts.iter().map(|&n| acc.advance(n)).sum();
+        let total: u64 = parts.iter().sum();
+        prop_assert_eq!(advanced, f.cycles(total));
+        prop_assert!(acc.remainder_x16() < 16);
+    }
+}
