@@ -30,7 +30,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use emcc::prelude::WorkloadScale;
-use emcc_bench::{experiments, ExpParams, FailedRun, Harness};
+use emcc_bench::{experiments, ExhaustedRun, ExpParams, FailedRun, Harness};
 
 fn main() {
     let mut smoke = false;
@@ -127,6 +127,7 @@ fn main() {
             sched_misses,
             &[],
             &failures,
+            &h.recovery_exhausted(),
         );
         match std::fs::write("BENCH_run_all.json", &json) {
             Ok(()) => eprintln!("[{total_secs:>7.1}s] wrote BENCH_run_all.json"),
@@ -230,6 +231,17 @@ fn main() {
 
     let total_secs = t0.elapsed().as_secs_f64();
     let (hits, misses) = h.cache_stats();
+    let exhausted = h.recovery_exhausted();
+    for e in &exhausted {
+        // A run that completed but poisoned deliveries is worth a warning
+        // even though the figures still render — the counter below keeps
+        // it visible in the telemetry file.
+        eprintln!(
+            "[{total_secs:>7.1}s] WARNING: {} / {} exhausted its integrity-retry \
+             budget ({} unrecovered deliveries)",
+            e.bench, e.scheme, e.unrecovered
+        );
+    }
     let json = bench_json(
         scale,
         h.jobs(),
@@ -240,6 +252,7 @@ fn main() {
         misses,
         &timings,
         &[],
+        &exhausted,
     );
     match std::fs::write("BENCH_run_all.json", &json) {
         Ok(()) => eprintln!("[{total_secs:>7.1}s] wrote BENCH_run_all.json"),
@@ -261,7 +274,9 @@ fn export_trace(path: &str) -> std::io::Result<()> {
 }
 
 /// Hand-rolled JSON (no serde in the tree): timing + cache telemetry +
-/// the failed-run trail (empty on a clean pass).
+/// the failed-run trail (empty on a clean pass) + runs that completed
+/// with an exhausted integrity-retry budget (kept distinct from
+/// `failed_runs`: their reports are valid and rendered).
 #[allow(clippy::too_many_arguments)]
 fn bench_json(
     scale: emcc::prelude::WorkloadScale,
@@ -273,6 +288,7 @@ fn bench_json(
     misses: u64,
     timings: &[(&str, f64)],
     failures: &[FailedRun],
+    exhausted: &[ExhaustedRun],
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
@@ -295,6 +311,23 @@ fn bench_json(
         );
     }
     if failures.is_empty() {
+        s.push_str("],\n");
+    } else {
+        s.push_str("\n  ],\n");
+    }
+    let _ = writeln!(s, "  \"recovery_exhausted_count\": {},", exhausted.len());
+    s.push_str("  \"recovery_exhausted_runs\": [");
+    for (i, e) in exhausted.iter().enumerate() {
+        let comma = if i + 1 == exhausted.len() { "" } else { "," };
+        let _ = write!(
+            s,
+            "\n    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"unrecovered\": {}}}{comma}",
+            json_escape(&e.bench),
+            json_escape(&e.scheme),
+            e.unrecovered
+        );
+    }
+    if exhausted.is_empty() {
         s.push_str("],\n");
     } else {
         s.push_str("\n  ],\n");

@@ -1,0 +1,242 @@
+//! Multi-threaded throughput benchmark for the secure-memory service.
+//!
+//! ```text
+//! service_bench [--smoke] [--threads LIST] [--ops N] [--out FILE]
+//! ```
+//!
+//! Each configured thread count runs a fresh [`SecureMemoryService`] over
+//! an [`InMemoryBackend`]: every thread replays a deterministic script of
+//! batched writes, guarded writes and batched reads against its own
+//! stripe of the line space (`line % threads == t`), so adjacent lines —
+//! and therefore shared counter blocks — are contended across threads
+//! while per-line values stay trivially checkable. Wall-clock ops/sec
+//! per thread count lands in `BENCH_service.json` (`--out` overrides).
+//!
+//! `--smoke` shrinks the op count and thread list for CI. Exit 2 is
+//! reserved for usage errors; a read-back mismatch panics (exit 101).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use emcc::counters::CounterDesign;
+use emcc::crypto::DataBlock;
+use emcc::secmem::service::InMemoryBackend;
+use emcc::secmem::{MemoryAdt, SecureMemoryService, SecurityScheme, ServiceConfig, ServiceError};
+use emcc::sim::LineAddr;
+
+/// Benchmark seed: scripts are reproducible bit-for-bit.
+const SEED: u64 = 0x5E4B;
+
+/// Line space per service instance.
+const LINES: u64 = 1 << 14;
+
+struct Args {
+    threads: Vec<usize>,
+    ops: u64,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: service_bench [--smoke] [--threads LIST] [--ops N] [--out FILE]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: vec![1, 2, 4, 8],
+        ops: 20_000,
+        out: PathBuf::from("BENCH_service.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => {
+                args.threads = vec![1, 4];
+                args.ops = 2_000;
+            }
+            "--threads" => {
+                args.threads = value("a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.threads.is_empty() || args.threads.contains(&0) {
+                    usage()
+                }
+            }
+            "--ops" => args.ops = value("a count").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = PathBuf::from(value("a path")),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn block(v: u64) -> DataBlock {
+    DataBlock::from_words([v; 8])
+}
+
+/// Thread `t` of `n` owns the interleaved stripe `{ l | l % n == t }`, so
+/// counter blocks are shared across threads while ownership stays
+/// disjoint (guards are authoritative without cross-thread coordination).
+fn owned_line(thread: u64, n: u64, r: u64) -> LineAddr {
+    LineAddr::new((r % (LINES / n)) * n + thread)
+}
+
+/// Retries `f` past backpressure; returns the result plus how many
+/// `Overloaded` rejections were absorbed.
+fn with_retry<T>(mut f: impl FnMut() -> Result<T, ServiceError>) -> (T, u64) {
+    let mut rejected = 0;
+    loop {
+        match f() {
+            Ok(v) => return (v, rejected),
+            Err(ServiceError::Overloaded { .. }) => {
+                rejected += 1;
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("service error: {e}"),
+        }
+    }
+}
+
+/// One measured cell: `threads` workers, `ops` operations each.
+struct Cell {
+    threads: usize,
+    total_ops: u64,
+    seconds: f64,
+    ops_per_sec: f64,
+    overloaded_absorbed: u64,
+    service_retries: u64,
+}
+
+/// Runs one thread's deterministic script: 60% single-line batch writes,
+/// 20% guarded writes (guard = the thread's own last value), 20% batched
+/// reads checked against the thread's model.
+fn run_thread(svc: &SecureMemoryService<InMemoryBackend>, thread: u64, n: u64, ops: u64) -> u64 {
+    let mut last: std::collections::HashMap<LineAddr, DataBlock> = Default::default();
+    let mut absorbed = 0;
+    for i in 0..ops {
+        let r = mix(SEED ^ thread.wrapping_mul(0x9049).wrapping_add(i));
+        let line = owned_line(thread, n, r >> 16);
+        let val = block(r);
+        match r % 10 {
+            0..=5 => {
+                let (_, rej) = with_retry(|| svc.batch_write(&[(line, val)]));
+                absorbed += rej;
+                last.insert(line, val);
+            }
+            6 | 7 => {
+                let guard = last.get(&line).copied();
+                let (seen, rej) = with_retry(|| svc.guarded_write((line, guard), &[(line, val)]));
+                absorbed += rej;
+                assert_eq!(seen, guard, "line {line:?}: foreign write on owned stripe");
+                last.insert(line, val);
+            }
+            _ => {
+                let addrs: Vec<LineAddr> = (0..4)
+                    .map(|k| owned_line(thread, n, (r >> 16) + k))
+                    .collect();
+                let (got, rej) = with_retry(|| svc.batch_read(&addrs));
+                absorbed += rej;
+                for (addr, g) in addrs.iter().zip(&got) {
+                    assert_eq!(
+                        g.as_ref(),
+                        last.get(addr),
+                        "line {addr:?}: read-back mismatch"
+                    );
+                }
+            }
+        }
+    }
+    absorbed
+}
+
+fn run_cell(threads: usize, ops: u64) -> Cell {
+    let cfg = ServiceConfig {
+        max_in_flight: threads * 2,
+        ..ServiceConfig::default()
+    };
+    let svc = SecureMemoryService::with_design(
+        InMemoryBackend::new(),
+        SEED,
+        LINES,
+        CounterDesign::Morphable,
+        cfg,
+    );
+    let t0 = Instant::now();
+    let absorbed: u64 = std::thread::scope(|s| {
+        let svc = &svc;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| s.spawn(move || run_thread(svc, t as u64, threads as u64, ops)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let total_ops = ops * threads as u64;
+    let stats = svc.stats();
+    Cell {
+        threads,
+        total_ops,
+        seconds,
+        ops_per_sec: total_ops as f64 / seconds.max(1e-9),
+        overloaded_absorbed: absorbed,
+        service_retries: stats.retries,
+    }
+}
+
+/// Hand-rolled JSON (no serde in the tree).
+fn bench_json(ops: u64, cells: &[Cell]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"backend\": \"in-memory\",");
+    let _ = writeln!(s, "  \"scheme\": \"{}\",", SecurityScheme::Emcc);
+    let _ = writeln!(s, "  \"data_lines\": {LINES},");
+    let _ = writeln!(s, "  \"ops_per_thread\": {ops},");
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"threads\": {}, \"total_ops\": {}, \"seconds\": {:.3}, \
+             \"ops_per_sec\": {:.0}, \"overloaded_absorbed\": {}, \
+             \"service_retries\": {}}}{comma}",
+            c.threads,
+            c.total_ops,
+            c.seconds,
+            c.ops_per_sec,
+            c.overloaded_absorbed,
+            c.service_retries
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cells = Vec::new();
+    for &threads in &args.threads {
+        let cell = run_cell(threads, args.ops);
+        println!(
+            "{:>2} thread(s): {:>10.0} ops/s ({} ops in {:.3}s, {} rejections absorbed)",
+            cell.threads, cell.ops_per_sec, cell.total_ops, cell.seconds, cell.overloaded_absorbed
+        );
+        cells.push(cell);
+    }
+    let json = bench_json(args.ops, &cells);
+    std::fs::write(&args.out, json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out.display()));
+    println!("wrote {}", args.out.display());
+}

@@ -1,0 +1,846 @@
+//! Crash-recovery campaigns for the secure-memory service: seeded crash
+//! schedules (including torn final journal records and stale-checkpoint
+//! windows) plus optional at-rest corruption, judged against the
+//! crash-consistency invariant:
+//!
+//! > Every acknowledged write reads back exactly after recovery, or the
+//! > loss is *detected* (recovery error / quarantined line) — never
+//! > silent.
+//!
+//! Each case runs over both backends — `InMemoryBackend` and
+//! `FileBackend` — under the same schedule; the two must reach the same
+//! verdict (the backends differ only in medium, never in semantics).
+//! Failing cases shrink to minimal reproducers with the same
+//! delta-debugging driver as the simulator fuzzer, and reproducers
+//! serialize to replayable text files.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use emcc::counters::CounterDesign;
+use emcc::crypto::DataBlock;
+use emcc::secmem::service::{
+    CrashInjector, CrashSchedule, FileBackend, InMemoryBackend, Region, StorageBackend,
+};
+use emcc::secmem::{recover, MemoryAdt, SecureMemoryService, ServiceConfig, ServiceError};
+use emcc::sim::{LineAddr, Rng64};
+use proptest::shrink::{shrink_int, shrink_option, shrink_vec, Shrink};
+
+use crate::pool::run_indexed_catching;
+
+/// Fixed campaign seed (mixed with the case index).
+pub const CRASH_SEED: u64 = 0xC4A5;
+
+/// Counter designs swept by the campaign, indexed by `CrashCase::design`.
+pub const DESIGNS: [CounterDesign; 3] = [
+    CounterDesign::Monolithic,
+    CounterDesign::Sc64,
+    CounterDesign::Morphable,
+];
+
+/// Post-crash at-rest corruption of one persisted byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptPlan {
+    /// Target the checkpoint image (true) or the journal.
+    pub checkpoint: bool,
+    /// Byte offset into the region (out-of-range flips nothing).
+    pub offset: u64,
+    /// Non-zero XOR mask applied to the byte.
+    pub xor: u8,
+}
+
+/// One scripted service operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// `batch_write` of one line.
+    Write {
+        /// Target line.
+        line: u64,
+        /// Written word pattern.
+        val: u64,
+    },
+    /// `guarded_write` guarded on the line's tracked current value.
+    Guarded {
+        /// Target line.
+        line: u64,
+        /// Written word pattern.
+        val: u64,
+    },
+    /// `batch_read` of one line, checked against the tracked model.
+    Read {
+        /// Target line.
+        line: u64,
+    },
+    /// Explicit checkpoint (install + truncate: two mutating calls).
+    Checkpoint,
+}
+
+/// A complete, self-describing crash case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashCase {
+    /// Generating seed (also the service key seed).
+    pub seed: u64,
+    /// Index into [`DESIGNS`].
+    pub design: usize,
+    /// Protected data space in lines (power of two).
+    pub data_lines: u64,
+    /// When the backend dies (0 = never) and how many bytes of the final
+    /// append survive.
+    pub schedule: CrashSchedule,
+    /// Optional post-crash byte corruption.
+    pub corrupt: Option<CorruptPlan>,
+    /// The op script.
+    pub ops: Vec<CrashOp>,
+}
+
+impl CrashCase {
+    /// Generates the case for `seed`. Pure: same seed, same case.
+    ///
+    /// A quarter of cases are write-hammers (many writes to a handful of
+    /// lines) so split-counter minor overflows — and thus whole-block
+    /// rebase records — land on both sides of the crash point.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = Rng64::new(seed ^ 0xC4A5_CA5E);
+        let design = rng.index(DESIGNS.len());
+        let data_lines = 256;
+        let hammer = rng.chance(0.25);
+        let n_ops = if hammer {
+            100 + rng.index(101) // 100..=200: enough writes to rebase
+        } else {
+            8 + rng.index(41) // 8..=48
+        };
+        let line_span: u64 = if hammer { 4 } else { 32 };
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let line = rng.below(line_span);
+            let val = rng.below(1 << 32);
+            ops.push(match rng.index(10) {
+                0..=5 => CrashOp::Write { line, val },
+                6..=7 => CrashOp::Guarded { line, val },
+                8 => CrashOp::Read { line },
+                _ => CrashOp::Checkpoint,
+            });
+        }
+        // Mutating backend calls ≈ writes + 2 per checkpoint; sample past
+        // the end too so "never crashes" cases stay in the mix.
+        let schedule = CrashSchedule {
+            crash_on_op: rng.below(n_ops as u64 + 16),
+            torn_keep: rng.below(96),
+        };
+        let corrupt = if rng.chance(0.25) {
+            Some(CorruptPlan {
+                checkpoint: rng.chance(0.5),
+                offset: rng.below(2048),
+                xor: 1 << rng.index(8),
+            })
+        } else {
+            None
+        };
+        CrashCase {
+            seed,
+            design,
+            data_lines,
+            schedule,
+            corrupt,
+            ops,
+        }
+    }
+
+    /// Checks the constraints [`apply`] relies on, so hand-edited
+    /// reproducers and shrink candidates fail with a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.design >= DESIGNS.len() {
+            return Err(format!("invalid case: design index {}", self.design));
+        }
+        if !self.data_lines.is_power_of_two() || self.data_lines < 64 {
+            return Err("invalid case: data_lines must be a power of two >= 64".into());
+        }
+        if self.ops.is_empty() || self.ops.len() > 4096 {
+            return Err("invalid case: ops must be 1..=4096".into());
+        }
+        for op in &self.ops {
+            let line = match *op {
+                CrashOp::Write { line, .. }
+                | CrashOp::Guarded { line, .. }
+                | CrashOp::Read { line } => line,
+                CrashOp::Checkpoint => continue,
+            };
+            if line >= self.data_lines {
+                return Err(format!("invalid case: line {line} out of data space"));
+            }
+        }
+        if let Some(c) = self.corrupt {
+            if c.xor == 0 {
+                return Err("invalid case: corrupt xor must be non-zero".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Shrink for CrashCase {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let with = |f: &dyn Fn(&mut CrashCase)| {
+            let mut c = self.clone();
+            f(&mut c);
+            c
+        };
+        // Cheap structural knobs first: drop the corruption add-on, pull
+        // the crash point earlier, shorten the torn prefix — then the op
+        // script itself.
+        for corrupt in shrink_option(&self.corrupt, |c| {
+            let mut cands = Vec::new();
+            for offset in shrink_int(c.offset, 0) {
+                cands.push(CorruptPlan { offset, ..*c });
+            }
+            if c.xor != 1 {
+                cands.push(CorruptPlan { xor: 1, ..*c });
+            }
+            cands
+        }) {
+            out.push(with(&|c| c.corrupt = corrupt));
+        }
+        for crash_on_op in shrink_int(self.schedule.crash_on_op, 0) {
+            out.push(with(&|c| c.schedule.crash_on_op = crash_on_op));
+        }
+        for torn_keep in shrink_int(self.schedule.torn_keep, 0) {
+            out.push(with(&|c| c.schedule.torn_keep = torn_keep));
+        }
+        for shorter in shrink_vec(&self.ops, 1, |op| {
+            let mut elems = Vec::new();
+            match *op {
+                CrashOp::Write { line, val } => {
+                    for l in shrink_int(line, 0) {
+                        elems.push(CrashOp::Write { line: l, val });
+                    }
+                    for v in shrink_int(val, 0) {
+                        elems.push(CrashOp::Write { line, val: v });
+                    }
+                }
+                CrashOp::Guarded { line, val } => {
+                    elems.push(CrashOp::Write { line, val });
+                }
+                CrashOp::Checkpoint | CrashOp::Read { .. } => {}
+            }
+            elems
+        }) {
+            out.push(with(&|c| c.ops = shorter.clone()));
+        }
+        out.retain(|c| c.validate().is_ok());
+        out
+    }
+}
+
+/// What running a case over one backend produced.
+#[derive(Debug, Clone)]
+pub struct CaseRun {
+    /// Final acknowledged value per line (later acks overwrite earlier).
+    pub acked: BTreeMap<u64, u64>,
+    /// Whether the schedule fired during the run.
+    pub crashed: bool,
+    /// Whether the corruption plan changed a persisted byte.
+    pub corrupted: bool,
+    /// `None` when the invariant held; else why it did not.
+    pub failure: Option<String>,
+}
+
+/// The service configuration campaigns run under: no auto-checkpoint
+/// (the script checkpoints explicitly) and no retries (a crashed backend
+/// never comes back, so retrying only obscures the crash point).
+fn campaign_config() -> ServiceConfig {
+    ServiceConfig {
+        retry: emcc::secmem::RetryPolicy {
+            max_attempts: 0,
+            base_ticks: 0,
+        },
+        checkpoint_every: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Runs the script until completion or the injected crash, then applies
+/// the corruption plan, recovers, and judges the invariant.
+pub fn apply<B: StorageBackend>(case: &CrashCase, backend: B) -> CaseRun {
+    let design = DESIGNS[case.design];
+    let cfg = campaign_config();
+    let svc = SecureMemoryService::with_design(
+        CrashInjector::new(backend, case.schedule),
+        case.seed,
+        case.data_lines,
+        design,
+        cfg,
+    );
+
+    let mut acked: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut failure: Option<String> = None;
+    'script: for (i, op) in case.ops.iter().enumerate() {
+        match *op {
+            CrashOp::Write { line, val } => {
+                match svc.batch_write(&[(LineAddr::new(line), DataBlock::from_words([val; 8]))]) {
+                    Ok(_) => {
+                        acked.insert(line, val);
+                    }
+                    Err(ServiceError::Backend { .. }) => break 'script,
+                    Err(e) => {
+                        failure = Some(format!("op {i}: unexpected write error: {e}"));
+                        break 'script;
+                    }
+                }
+            }
+            CrashOp::Guarded { line, val } => {
+                let expect = acked.get(&line).map(|&v| DataBlock::from_words([v; 8]));
+                match svc.guarded_write(
+                    (LineAddr::new(line), expect),
+                    &[(LineAddr::new(line), DataBlock::from_words([val; 8]))],
+                ) {
+                    Ok(seen) if seen == expect => {
+                        acked.insert(line, val);
+                    }
+                    Ok(_) => {
+                        failure = Some(format!("op {i}: guard observed an untracked value"));
+                        break 'script;
+                    }
+                    Err(ServiceError::Backend { .. }) => break 'script,
+                    Err(e) => {
+                        failure = Some(format!("op {i}: unexpected guarded error: {e}"));
+                        break 'script;
+                    }
+                }
+            }
+            CrashOp::Read { line } => {
+                // Pre-crash oracle: volatile state must track every ack.
+                match svc.batch_read(&[LineAddr::new(line)]) {
+                    Ok(got) => {
+                        let want = acked.get(&line).map(|&v| DataBlock::from_words([v; 8]));
+                        if got[0] != want {
+                            failure = Some(format!("op {i}: pre-crash read diverged"));
+                            break 'script;
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(format!("op {i}: unexpected read error: {e}"));
+                        break 'script;
+                    }
+                }
+            }
+            CrashOp::Checkpoint => match svc.checkpoint() {
+                Ok(()) => {}
+                Err(ServiceError::Backend { .. }) => break 'script,
+                Err(e) => {
+                    failure = Some(format!("op {i}: unexpected checkpoint error: {e}"));
+                    break 'script;
+                }
+            },
+        }
+    }
+
+    let injector = svc.into_backend();
+    let crashed = injector.crashed();
+    let mut inner = injector.into_inner();
+    let corrupted = match case.corrupt {
+        Some(c) => {
+            let region = if c.checkpoint {
+                Region::Checkpoint
+            } else {
+                Region::Journal
+            };
+            match inner.corrupt_byte(region, c.offset as usize, c.xor) {
+                Ok(applied) => applied,
+                Err(e) => {
+                    return CaseRun {
+                        acked,
+                        crashed,
+                        corrupted: false,
+                        failure: Some(format!("corrupt_byte failed: {e}")),
+                    }
+                }
+            }
+        }
+        None => false,
+    };
+    if failure.is_some() {
+        return CaseRun {
+            acked,
+            crashed,
+            corrupted,
+            failure,
+        };
+    }
+
+    let failure = judge(case, &acked, corrupted, inner);
+    CaseRun {
+        acked,
+        crashed,
+        corrupted,
+        failure,
+    }
+}
+
+/// Judges recovery of `backend` against the acked map: exact readback,
+/// or detection — never silent loss.
+fn judge<B: StorageBackend>(
+    case: &CrashCase,
+    acked: &BTreeMap<u64, u64>,
+    corrupted: bool,
+    backend: B,
+) -> Option<String> {
+    let recovered = recover(
+        backend,
+        case.seed,
+        case.data_lines,
+        DESIGNS[case.design],
+        campaign_config(),
+    );
+    let (svc, report) = match recovered {
+        Ok(pair) => pair,
+        Err(e) => {
+            if corrupted {
+                return None; // detected at recovery: the invariant held
+            }
+            return Some(format!("recovery failed without corruption: {e}"));
+        }
+    };
+    if !corrupted && !report.quarantined.is_empty() {
+        return Some(format!(
+            "{} lines quarantined after a pure crash",
+            report.quarantined.len()
+        ));
+    }
+    for (&line, &val) in acked {
+        match svc.batch_read(&[LineAddr::new(line)]) {
+            Ok(got) => {
+                let want = DataBlock::from_words([val; 8]);
+                if got[0] != Some(want) {
+                    return Some(format!(
+                        "silent loss: line {line} acked {val:#x}, read back {:?}",
+                        got[0].map(|b| b.words()[0])
+                    ));
+                }
+            }
+            Err(ServiceError::Corruption(_)) if corrupted => {} // detected
+            Err(e) => return Some(format!("post-recovery read of line {line}: {e}")),
+        }
+    }
+    None
+}
+
+/// Runs one case over both backends and cross-checks their verdicts.
+/// `file_dir` is wiped and reused for the `FileBackend` run.
+pub fn run_case(case: &CrashCase, file_dir: &Path) -> CaseRun {
+    let inmem = apply(case, InMemoryBackend::new());
+    let _ = std::fs::remove_dir_all(file_dir);
+    let file_backend = match FileBackend::open(file_dir) {
+        Ok(b) => b,
+        Err(e) => {
+            return CaseRun {
+                failure: Some(format!("file backend scratch: {e}")),
+                ..inmem
+            }
+        }
+    };
+    let file = apply(case, file_backend);
+    let _ = std::fs::remove_dir_all(file_dir);
+    if inmem.failure.is_none() != file.failure.is_none() || inmem.acked != file.acked {
+        return CaseRun {
+            failure: Some(format!(
+                "backend divergence: inmem {:?} vs file {:?}",
+                inmem.failure, file.failure
+            )),
+            ..inmem
+        };
+    }
+    inmem
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// One verdict line per case, in index order (byte-identical for any
+    /// worker count).
+    pub verdicts: Vec<String>,
+    /// `(index, case, why)` for every failed case.
+    pub failures: Vec<(usize, CrashCase, String)>,
+    /// Cases whose schedule fired.
+    pub crashed_cases: u64,
+    /// Cases whose corruption plan changed a persisted byte.
+    pub corrupted_cases: u64,
+}
+
+impl CrashReport {
+    /// Whether every case upheld the invariant.
+    pub fn all_pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// splitmix64 per-case seed derivation (same scheme as the fuzzer).
+pub fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `cases` schedules per backend on `jobs` workers. Panicking cases
+/// are contained by the pool and reported as failures.
+pub fn run_campaign(cases: usize, seed: u64, jobs: usize, scratch: &Path) -> CrashReport {
+    let runs = run_indexed_catching(cases, jobs, |i| {
+        let case = CrashCase::generate(mix(seed, i as u64));
+        let dir = scratch.join(format!("case_{i}"));
+        (case.clone(), run_case(&case, &dir))
+    });
+    let mut verdicts = Vec::with_capacity(cases);
+    let mut failures = Vec::new();
+    let mut crashed_cases = 0;
+    let mut corrupted_cases = 0;
+    for (i, run) in runs.into_iter().enumerate() {
+        match run {
+            Ok((case, r)) => {
+                crashed_cases += u64::from(r.crashed);
+                corrupted_cases += u64::from(r.corrupted);
+                let verdict = match &r.failure {
+                    None => "ok".to_string(),
+                    Some(why) => format!("FAIL: {why}"),
+                };
+                verdicts.push(format!(
+                    "case {i:>5} seed {:#018x} design {:<10} ops {:>3} crash {:>3}/{:<3} corrupt {} acked {:>3} {}",
+                    case.seed,
+                    format!("{:?}", DESIGNS[case.design]),
+                    case.ops.len(),
+                    case.schedule.crash_on_op,
+                    case.schedule.torn_keep,
+                    match case.corrupt {
+                        None => "-".to_string(),
+                        Some(c) =>
+                            format!("{}@{}", if c.checkpoint { "ckpt" } else { "wal" }, c.offset),
+                    },
+                    r.acked.len(),
+                    verdict,
+                ));
+                if let Some(why) = r.failure {
+                    failures.push((i, case, why));
+                }
+            }
+            Err(panic_msg) => {
+                let case = CrashCase::generate(mix(seed, i as u64));
+                verdicts.push(format!("case {i:>5} PANIC: {panic_msg}"));
+                failures.push((i, case, format!("panicked: {panic_msg}")));
+            }
+        }
+    }
+    CrashReport {
+        verdicts,
+        failures,
+        crashed_cases,
+        corrupted_cases,
+    }
+}
+
+/// Serializes a case as a replayable reproducer file.
+pub fn to_text(case: &CrashCase) -> String {
+    let mut s = String::new();
+    s.push_str("// emcc crash-campaign reproducer — replay via `crash_campaign --replay <file>`\n");
+    s.push_str("CrashCase(\n");
+    s.push_str(&format!("    seed: {},\n", case.seed));
+    s.push_str(&format!("    design: {},\n", case.design));
+    s.push_str(&format!("    data_lines: {},\n", case.data_lines));
+    s.push_str(&format!(
+        "    crash_on_op: {},\n",
+        case.schedule.crash_on_op
+    ));
+    s.push_str(&format!("    torn_keep: {},\n", case.schedule.torn_keep));
+    s.push_str(&format!(
+        "    corrupt: {},\n",
+        match case.corrupt {
+            None => "None".to_string(),
+            Some(c) => format!(
+                "Corrupt(checkpoint: {}, offset: {}, xor: {})",
+                c.checkpoint, c.offset, c.xor
+            ),
+        }
+    ));
+    s.push_str("    ops: [\n");
+    for op in &case.ops {
+        s.push_str(&match *op {
+            CrashOp::Write { line, val } => {
+                format!("        (op: write, line: {line}, val: {val}),\n")
+            }
+            CrashOp::Guarded { line, val } => {
+                format!("        (op: guarded, line: {line}, val: {val}),\n")
+            }
+            CrashOp::Read { line } => format!("        (op: read, line: {line}),\n"),
+            CrashOp::Checkpoint => "        (op: checkpoint),\n".to_string(),
+        });
+    }
+    s.push_str("    ],\n)\n");
+    s
+}
+
+/// Parses a reproducer file back into a validated case.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for syntax errors,
+/// missing keys, or a case failing [`CrashCase::validate`].
+pub fn from_text(text: &str) -> Result<CrashCase, String> {
+    let mut fields: Vec<(String, String)> = Vec::new();
+    let mut ops: Vec<CrashOp> = Vec::new();
+    let mut in_ops = false;
+    for (num, raw) in text.lines().enumerate() {
+        let line = match raw.find("//") {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() || line == "CrashCase(" || line == ")" {
+            continue;
+        }
+        if line == "ops: [" {
+            in_ops = true;
+            continue;
+        }
+        if in_ops && (line == "]," || line == "]") {
+            in_ops = false;
+            continue;
+        }
+        let at = |e: String| format!("line {}: {e}", num + 1);
+        if in_ops {
+            ops.push(parse_op(line).map_err(at)?);
+        } else {
+            let body = line.strip_suffix(',').unwrap_or(line);
+            let (k, v) = body
+                .split_once(':')
+                .ok_or_else(|| at(format!("expected `key: value`, got `{line}`")))?;
+            fields.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing field `{key}`"))
+    };
+    let int = |key: &str| -> Result<u64, String> {
+        get(key)?
+            .parse()
+            .map_err(|_| format!("field `{key}` is not an integer"))
+    };
+    let case = CrashCase {
+        seed: int("seed")?,
+        design: int("design")? as usize,
+        data_lines: int("data_lines")?,
+        schedule: CrashSchedule {
+            crash_on_op: int("crash_on_op")?,
+            torn_keep: int("torn_keep")?,
+        },
+        corrupt: parse_corrupt(get("corrupt")?)?,
+        ops,
+    };
+    case.validate()?;
+    Ok(case)
+}
+
+fn parse_corrupt(v: &str) -> Result<Option<CorruptPlan>, String> {
+    if v == "None" {
+        return Ok(None);
+    }
+    let body = v
+        .strip_prefix("Corrupt(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("unknown corrupt plan `{v}`"))?;
+    let mut plan = CorruptPlan {
+        checkpoint: false,
+        offset: 0,
+        xor: 0,
+    };
+    for part in body.split(',') {
+        let (k, val) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad corrupt field `{part}`"))?;
+        let val = val.trim();
+        match k.trim() {
+            "checkpoint" => {
+                plan.checkpoint = val.parse().map_err(|_| format!("bad checkpoint `{val}`"))?;
+            }
+            "offset" => plan.offset = val.parse().map_err(|_| format!("bad offset `{val}`"))?,
+            "xor" => plan.xor = val.parse().map_err(|_| format!("bad xor `{val}`"))?,
+            other => return Err(format!("unknown corrupt field `{other}`")),
+        }
+    }
+    Ok(Some(plan))
+}
+
+fn parse_op(line: &str) -> Result<CrashOp, String> {
+    let body = line
+        .strip_suffix(',')
+        .unwrap_or(line)
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("expected `(op: .., ..)`, got `{line}`"))?;
+    let mut kind = None;
+    let mut line_no = None;
+    let mut val = None;
+    for part in body.split(',') {
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad op field `{part}`"))?;
+        let v = v.trim();
+        match k.trim() {
+            "op" => kind = Some(v.to_string()),
+            "line" => line_no = Some(v.parse().map_err(|_| format!("bad line `{v}`"))?),
+            "val" => val = Some(v.parse().map_err(|_| format!("bad val `{v}`"))?),
+            other => return Err(format!("unknown op field `{other}`")),
+        }
+    }
+    let need_line = || line_no.ok_or_else(|| format!("op `{line}` is missing `line`"));
+    let need_val = || val.ok_or_else(|| format!("op `{line}` is missing `val`"));
+    match kind.as_deref() {
+        Some("write") => Ok(CrashOp::Write {
+            line: need_line()?,
+            val: need_val()?,
+        }),
+        Some("guarded") => Ok(CrashOp::Guarded {
+            line: need_line()?,
+            val: need_val()?,
+        }),
+        Some("read") => Ok(CrashOp::Read { line: need_line()? }),
+        Some("checkpoint") => Ok(CrashOp::Checkpoint),
+        other => Err(format!("unknown op kind `{other:?}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-scratch")
+            .join(format!("crash-campaign-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_valid() {
+        for seed in 0..64u64 {
+            let a = CrashCase::generate(seed);
+            assert_eq!(a, CrashCase::generate(seed));
+            a.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert_ne!(CrashCase::generate(1), CrashCase::generate(2));
+    }
+
+    #[test]
+    fn shrink_candidates_stay_valid() {
+        let case = CrashCase::generate(11);
+        for cand in case.shrink_candidates() {
+            cand.validate().expect("shrink candidate invalid");
+        }
+    }
+
+    #[test]
+    fn shrinks_to_tiny_case_under_always_failing_oracle() {
+        let case = CrashCase::generate(5);
+        let m = proptest::shrink::minimize(case, 20_000, |_| true);
+        assert_eq!(m.value.ops.len(), 1);
+        assert_eq!(m.value.corrupt, None);
+        assert_eq!(m.value.schedule.crash_on_op, 0);
+    }
+
+    #[test]
+    fn smoke_cases_uphold_the_invariant() {
+        let dir = scratch("smoke");
+        for i in 0..24u64 {
+            let case = CrashCase::generate(mix(CRASH_SEED, i));
+            let run = run_case(&case, &dir);
+            assert!(
+                run.failure.is_none(),
+                "case {i} ({case:?}) failed: {:?}",
+                run.failure
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_case_loses_only_unacked_work() {
+        // A hand-built case whose 3rd append tears mid-record.
+        let case = CrashCase {
+            seed: 3,
+            design: 2,
+            data_lines: 256,
+            schedule: CrashSchedule {
+                crash_on_op: 3,
+                torn_keep: 9,
+            },
+            corrupt: None,
+            ops: (0..6)
+                .map(|i| CrashOp::Write {
+                    line: i,
+                    val: 100 + i,
+                })
+                .collect(),
+        };
+        let run = apply(&case, InMemoryBackend::new());
+        assert!(run.crashed);
+        assert_eq!(run.acked.len(), 2, "third write must not be acked");
+        assert!(run.failure.is_none(), "{:?}", run.failure);
+    }
+
+    #[test]
+    fn corrupted_journal_case_is_detected_not_silent() {
+        let case = CrashCase {
+            seed: 4,
+            design: 1,
+            data_lines: 256,
+            schedule: CrashSchedule::never(),
+            corrupt: Some(CorruptPlan {
+                checkpoint: false,
+                offset: 12,
+                xor: 0x40,
+            }),
+            ops: (0..4).map(|i| CrashOp::Write { line: i, val: i }).collect(),
+        };
+        let run = apply(&case, InMemoryBackend::new());
+        assert!(run.corrupted, "offset 12 must land inside the journal");
+        assert!(run.failure.is_none(), "{:?}", run.failure);
+    }
+
+    #[test]
+    fn reproducer_roundtrips_every_generated_shape() {
+        for seed in [1u64, 2, 3, 5, 8, 13, 21, 34] {
+            let case = CrashCase::generate(seed);
+            let back = from_text(&to_text(&case)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(case, back, "roundtrip drift for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reproducer_parser_reports_bad_input() {
+        assert!(from_text("CrashCase(\n  garbage\n)")
+            .unwrap_err()
+            .contains("line 2"));
+        let mut case = CrashCase::generate(3);
+        case.ops = vec![CrashOp::Write { line: 9999, val: 1 }];
+        assert!(from_text(&to_text(&case))
+            .unwrap_err()
+            .contains("data space"));
+    }
+
+    #[test]
+    fn campaign_verdicts_are_worker_count_invariant() {
+        let s1 = scratch("j1");
+        let s2 = scratch("j4");
+        let a = run_campaign(16, CRASH_SEED, 1, &s1);
+        let b = run_campaign(16, CRASH_SEED, 4, &s2);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert!(a.all_pass(), "{:?}", a.failures.first());
+        let _ = std::fs::remove_dir_all(&s1);
+        let _ = std::fs::remove_dir_all(&s2);
+    }
+}

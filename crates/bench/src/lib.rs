@@ -13,10 +13,11 @@
 //! for runtime. `paper` uses the largest synthetic footprints and op
 //! counts and takes tens of minutes for the full suite.
 
+pub mod crash_campaign;
 pub mod experiments;
 pub mod fault_campaign;
 pub mod pool;
 pub mod runner;
 
 pub use pool::{jobs_from_env, run_indexed_catching, EnvError, RunCache, RunRequest};
-pub use runner::{scale_from_env, ExpParams, FailedRun, Harness};
+pub use runner::{scale_from_env, ExhaustedRun, ExpParams, FailedRun, Harness};

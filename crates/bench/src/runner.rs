@@ -76,6 +76,7 @@ pub struct Harness {
     jobs: usize,
     cache: RunCache,
     failures: Mutex<Vec<FailedRun>>,
+    exhausted: Mutex<Vec<ExhaustedRun>>,
 }
 
 /// A simulation that panicked inside [`Harness::execute`]: the pool
@@ -89,6 +90,23 @@ pub struct FailedRun {
     pub scheme: String,
     /// The panic message.
     pub error: String,
+}
+
+/// A simulation that *completed* but exhausted its integrity-retry budget
+/// (`integrity_unrecovered > 0`): detections whose bounded re-fetch never
+/// produced a clean line, so delivery was poisoned.
+///
+/// Distinct from [`FailedRun`] — the run's report is valid and cached —
+/// and surfaced in `BENCH_run_all.json` as `recovery_exhausted_runs`
+/// rather than being folded into `failed_runs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustedRun {
+    /// Benchmark name of the run.
+    pub bench: String,
+    /// Security scheme of the run.
+    pub scheme: String,
+    /// Detections left unrecovered after the retry budget.
+    pub unrecovered: u64,
 }
 
 impl Harness {
@@ -105,6 +123,7 @@ impl Harness {
             jobs: jobs.max(1),
             cache: RunCache::new(),
             failures: Mutex::new(Vec::new()),
+            exhausted: Mutex::new(Vec::new()),
         }
     }
 
@@ -132,6 +151,30 @@ impl Harness {
     /// far, in request order.
     pub fn failures(&self) -> Vec<FailedRun> {
         self.failures.lock().expect("failure list poisoned").clone()
+    }
+
+    /// Completed runs whose integrity-retry budget was exhausted
+    /// (`integrity_unrecovered > 0`), in simulation order. Each unique
+    /// `(benchmark, config)` is recorded once — cache hits never
+    /// double-count.
+    pub fn recovery_exhausted(&self) -> Vec<ExhaustedRun> {
+        self.exhausted
+            .lock()
+            .expect("exhausted list poisoned")
+            .clone()
+    }
+
+    fn note_exhaustion(&self, req: &RunRequest, report: &SimReport) {
+        if report.integrity_unrecovered > 0 {
+            self.exhausted
+                .lock()
+                .expect("exhausted list poisoned")
+                .push(ExhaustedRun {
+                    bench: req.bench.name(),
+                    scheme: req.cfg.scheme.to_string(),
+                    unrecovered: report.integrity_unrecovered,
+                });
+        }
     }
 
     /// Executes a batch of requests on the pool, memoizing every result.
@@ -162,6 +205,7 @@ impl Harness {
         for (req, report) in fresh.into_iter().zip(reports) {
             match report {
                 Ok(report) => {
+                    self.note_exhaustion(req, &report);
                     self.cache.insert(req.clone(), params, report);
                 }
                 Err(error) => {
@@ -185,6 +229,7 @@ impl Harness {
             return r;
         }
         let report = self.params.run(req.bench, req.cfg.clone());
+        self.note_exhaustion(&req, &report);
         self.cache.insert(req, self.params, report)
     }
 
@@ -314,6 +359,33 @@ mod tests {
         h.execute(&[req.clone(), req.clone(), req]);
         let (hits, misses) = h.cache_stats();
         assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn recovery_exhausted_runs_are_recorded_distinctly() {
+        use emcc::dram::{FaultClass, FaultConfig};
+        let h = Harness::with_jobs(ExpParams::for_scale(WorkloadScale::Test), 2);
+        // A clean run records nothing.
+        h.run_scheme(Benchmark::Mcf, SecurityScheme::CtrInLlc);
+        assert!(h.recovery_exhausted().is_empty());
+        // A stuck-at line can never be re-fetched clean, so the bounded
+        // retry budget must exhaust — and land in the distinct telemetry
+        // list, not in the panic-trail `failures()`.
+        let fault = FaultConfig::uniform(0xFA17, FaultClass::StuckLine, 0.05);
+        let cfg = Cfg::table_i(SecurityScheme::CtrInLlc).with_fault(fault);
+        let report = h.run(Benchmark::Canneal, cfg.clone());
+        assert!(
+            report.integrity_unrecovered > 0,
+            "stuck lines must exhaust the retry budget"
+        );
+        let ex = h.recovery_exhausted();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].bench, Benchmark::Canneal.name());
+        assert_eq!(ex[0].unrecovered, report.integrity_unrecovered);
+        assert!(h.failures().is_empty(), "the run completed — not a failure");
+        // A cache hit of the same run must not double-count.
+        h.run(Benchmark::Canneal, cfg);
+        assert_eq!(h.recovery_exhausted().len(), 1);
     }
 
     #[test]

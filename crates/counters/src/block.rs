@@ -185,6 +185,85 @@ impl CounterBlock {
     pub fn minors(&self) -> &[u16] {
         &self.minors
     }
+
+    /// Per-slot raw storage, one value per covered block: minors for split
+    /// designs, full counter values for monolithic. Together with
+    /// [`Self::major`] and [`Self::format`] this is the block's complete
+    /// persistent state; [`Self::restore`] is the inverse.
+    pub fn raw_slots(&self) -> Vec<u64> {
+        match self.design {
+            CounterDesign::Monolithic => self.full.clone(),
+            _ => self.minors.iter().map(|&m| u64::from(m)).collect(),
+        }
+    }
+
+    /// Rebuilds a block from persisted state, validating every field so a
+    /// corrupt journal or checkpoint is *detected* rather than silently
+    /// installing impossible counter state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency: wrong slot count,
+    /// unknown format tag, a minor exceeding the design's minor span, or a
+    /// Morphable payload that does not fit its declared format.
+    pub fn restore(
+        design: CounterDesign,
+        major: u64,
+        format_tag: u8,
+        slots: &[u64],
+    ) -> Result<Self, String> {
+        let n = design.coverage() as usize;
+        if slots.len() != n {
+            return Err(format!(
+                "counter block for {design:?} needs {n} slots, got {}",
+                slots.len()
+            ));
+        }
+        let format = MorphFormat::from_tag(format_tag)
+            .ok_or_else(|| format!("unknown morph format tag {format_tag}"))?;
+        match design {
+            CounterDesign::Monolithic => {
+                if major != 0 {
+                    return Err(format!("monolithic block has nonzero major {major}"));
+                }
+                Ok(CounterBlock {
+                    design,
+                    major: 0,
+                    minors: Vec::new(),
+                    full: slots.to_vec(),
+                    format: MorphFormat::Uniform3,
+                })
+            }
+            CounterDesign::Sc64 | CounterDesign::Morphable => {
+                let mut minors = Vec::with_capacity(n);
+                for (i, &s) in slots.iter().enumerate() {
+                    if s >= MINOR_SPAN {
+                        return Err(format!("slot {i} minor {s} exceeds span {MINOR_SPAN}"));
+                    }
+                    minors.push(s as u16);
+                }
+                if design == CounterDesign::Morphable {
+                    let fits = minors.iter().filter(|&&m| m > 0).count()
+                        <= format.nonzero_capacity()
+                        && minors.iter().all(|&m| m <= format.max_minor());
+                    if !fits {
+                        return Err(format!("minors do not fit declared format {format:?}"));
+                    }
+                }
+                Ok(CounterBlock {
+                    design,
+                    major,
+                    minors,
+                    full: Vec::new(),
+                    format: if design == CounterDesign::Morphable {
+                        format
+                    } else {
+                        MorphFormat::Uniform3
+                    },
+                })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +387,38 @@ mod tests {
             assert!(b.increment(10).overflow.is_none());
             assert!(b.increment(90).overflow.is_none());
         }
+    }
+
+    #[test]
+    fn restore_roundtrips_every_design() {
+        for design in CounterDesign::all() {
+            let mut b = CounterBlock::new(design);
+            for i in 0..200usize {
+                b.increment(i % design.coverage() as usize);
+            }
+            let back = CounterBlock::restore(design, b.major(), b.format().tag(), &b.raw_slots())
+                .expect("roundtrip restore succeeds");
+            assert_eq!(back, b, "restore must be the inverse of raw_slots");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        // Wrong slot count.
+        assert!(CounterBlock::restore(CounterDesign::Sc64, 0, 0, &[0; 3]).is_err());
+        // Minor out of span.
+        let mut slots = vec![0u64; 64];
+        slots[5] = 128;
+        assert!(CounterBlock::restore(CounterDesign::Sc64, 0, 0, &slots).is_err());
+        // Monolithic with a major counter.
+        assert!(CounterBlock::restore(CounterDesign::Monolithic, 1, 0, &[0; 8]).is_err());
+        // Morphable payload too wide for its declared format (Uniform3 caps
+        // minors at 7).
+        let mut slots = vec![0u64; 128];
+        slots[0] = 9;
+        assert!(CounterBlock::restore(CounterDesign::Morphable, 0, 0, &slots).is_err());
+        // Unknown tag.
+        assert!(CounterBlock::restore(CounterDesign::Morphable, 0, 9, &vec![0u64; 128]).is_err());
     }
 
     #[test]

@@ -91,6 +91,11 @@ impl TreeGeometry {
         self.design
     }
 
+    /// The number of protected data lines the geometry was built for.
+    pub fn data_lines(&self) -> u64 {
+        self.data_lines
+    }
+
     /// Number of levels, excluding the on-chip root.
     pub fn num_levels(&self) -> u32 {
         self.levels.len() as u32
@@ -306,6 +311,54 @@ impl IntegrityTree {
         r
     }
 
+    /// The materialized level-0 (data counter) block at `index`, if any
+    /// write ever touched it. Absent blocks are all-zero.
+    pub fn level0_block(&self, index: u64) -> Option<&CounterBlock> {
+        self.blocks.get(&(0, index))
+    }
+
+    /// Snapshot of every materialized level-0 block, ascending by index —
+    /// the persistent counter state a checkpoint must capture. (Functional
+    /// users only ever mutate level 0: data writes bump leaf counters and
+    /// node counters above stay zero, so this *is* the full tree state.)
+    pub fn level0_blocks(&self) -> Vec<(u64, CounterBlock)> {
+        let mut out: Vec<(u64, CounterBlock)> = self
+            .blocks
+            .iter()
+            .filter(|((level, _), _)| *level == 0)
+            .map(|(&(_, idx), b)| (idx, b.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(idx, _)| *idx);
+        out
+    }
+
+    /// Installs (or, with `None`, clears) the level-0 block at `index`
+    /// during crash recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside level 0 or the block's design differs
+    /// from the tree's: recovery decoders validate both before calling.
+    pub fn restore_level0_block(&mut self, index: u64, block: Option<CounterBlock>) {
+        assert!(
+            index < self.geometry.blocks_at_level(0),
+            "level-0 index out of range"
+        );
+        match block {
+            Some(b) => {
+                assert_eq!(
+                    b.design(),
+                    self.geometry.design(),
+                    "restored block design mismatch"
+                );
+                self.blocks.insert((0, index), b);
+            }
+            None => {
+                self.blocks.remove(&(0, index));
+            }
+        }
+    }
+
     /// Overflows observed at each level since construction. Index 0 =
     /// data-counter blocks ("level 0 overflow" in Fig 15), index 1+ =
     /// higher tree levels.
@@ -434,6 +487,39 @@ mod tests {
             t.increment_data(LineAddr::new(0));
         }
         assert!(t.morphs() >= 1, "8th write to one line must morph");
+    }
+
+    #[test]
+    fn level0_snapshot_restore_roundtrip() {
+        let mut t = IntegrityTree::new(CounterDesign::Sc64, 1 << 16);
+        for i in 0..300u64 {
+            t.increment_data(LineAddr::new(i * 3));
+        }
+        let snap = t.level0_blocks();
+        assert!(!snap.is_empty());
+        let mut fresh = IntegrityTree::new(CounterDesign::Sc64, 1 << 16);
+        for (idx, b) in &snap {
+            fresh.restore_level0_block(*idx, Some(b.clone()));
+        }
+        for i in 0..300u64 {
+            let l = LineAddr::new(i * 3);
+            assert_eq!(fresh.data_counter(l), t.data_counter(l));
+        }
+        // Clearing a block zeroes its counters again.
+        fresh.restore_level0_block(snap[0].0, None);
+        assert_eq!(
+            fresh.data_counter(LineAddr::new(snap[0].0 * 64)),
+            0,
+            "cleared block reads zero"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_level0_rejects_out_of_range() {
+        let mut t = IntegrityTree::new(CounterDesign::Morphable, 1 << 10);
+        let n = t.geometry().blocks_at_level(0);
+        t.restore_level0_block(n, Some(CounterBlock::new(CounterDesign::Morphable)));
     }
 
     #[test]

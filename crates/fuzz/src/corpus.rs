@@ -6,9 +6,74 @@
 //! the case, so a corrupted or hand-broken file fails with a message,
 //! never a simulator panic.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::case::{FaultPlan, FuzzCase, FuzzOp};
+
+/// A corpus file that failed to load: the path plus why.
+///
+/// Typed (rather than a bare string) so directory scans can *continue*
+/// past a corrupted or truncated file, report every offender at once,
+/// and still fail the replay suite — one bad file must never hide the
+/// verdicts of the rest of the corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Parse or I/O failure description (names the line for syntax
+    /// errors).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Loads every `*.ron` case under `dir` in sorted order, continuing past
+/// files that fail to parse.
+///
+/// Returns the successfully loaded `(path, case)` pairs plus one
+/// [`CorpusError`] per bad file. A missing or unreadable directory is a
+/// single error entry for the directory itself.
+pub fn load_dir(dir: &Path) -> (Vec<(PathBuf, FuzzCase)>, Vec<CorpusError>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            return (
+                Vec::new(),
+                vec![CorpusError {
+                    path: dir.to_path_buf(),
+                    reason: format!("corpus dir unreadable: {e}"),
+                }],
+            )
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ron"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::new();
+    let mut errors = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(&path) {
+            Err(e) => errors.push(CorpusError {
+                path,
+                reason: e.to_string(),
+            }),
+            Ok(text) => match from_ron(&text) {
+                Ok(case) => cases.push((path, case)),
+                Err(reason) => errors.push(CorpusError { path, reason }),
+            },
+        }
+    }
+    (cases, errors)
+}
 
 /// Serializes a case to corpus text.
 pub fn to_ron(case: &FuzzCase) -> String {
@@ -304,5 +369,45 @@ mod tests {
     fn syntax_error_names_the_line() {
         let err = from_ron("FuzzCase(\n  what even is this\n)").unwrap_err();
         assert!(err.contains("line 2"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn load_dir_continues_past_a_truncated_file() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-scratch")
+            .join(format!("corpus-load-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = FuzzCase::generate(5);
+        std::fs::write(dir.join("aa_good.ron"), to_ron(&good)).unwrap();
+        // Truncate a valid file mid-trace-entry: the classic
+        // crash-while-saving artifact that used to abort the whole replay
+        // suite. (A cut on a line boundary would still parse, just with
+        // fewer ops, so aim inside the final entry's tokens.)
+        let full = to_ron(&FuzzCase::generate(6));
+        let cut = full.rfind("(line:").expect("trace entry") + "(line: 1".len();
+        std::fs::write(dir.join("bb_truncated.ron"), &full[..cut]).unwrap();
+        std::fs::write(dir.join("cc_good.ron"), to_ron(&FuzzCase::generate(7))).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a corpus file").unwrap();
+
+        let (cases, errors) = load_dir(&dir);
+        assert_eq!(cases.len(), 2, "good files must still load");
+        assert_eq!(cases[0].1, good);
+        assert_eq!(errors.len(), 1, "exactly the truncated file fails");
+        assert!(errors[0].path.ends_with("bb_truncated.ron"));
+        assert!(
+            errors[0].to_string().contains("bb_truncated.ron"),
+            "error must name the bad file: {}",
+            errors[0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_reports_missing_directory_as_one_error() {
+        let (cases, errors) = load_dir(Path::new("does/not/exist-anywhere"));
+        assert!(cases.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].reason.contains("unreadable"));
     }
 }

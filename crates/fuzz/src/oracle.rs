@@ -7,9 +7,15 @@
 
 use std::collections::HashMap;
 
+use std::collections::BTreeMap;
+
 use emcc::counters::CounterDesign;
 use emcc::crypto::DataBlock;
-use emcc::secmem::{FunctionalSecureMemory, SecurityScheme};
+use emcc::secmem::service::{CrashInjector, CrashSchedule, InMemoryBackend};
+use emcc::secmem::{
+    recover, FunctionalSecureMemory, MemoryAdt, SecureMemoryService, SecurityScheme, ServiceConfig,
+    ServiceError,
+};
 use emcc::sim::LineAddr;
 use emcc::system::{SecureSystem, SimReport};
 
@@ -67,6 +73,7 @@ pub fn check_case(case: &FuzzCase) -> OracleReport {
 
     for design in DESIGNS {
         functional_oracle(case, design, &mut failures);
+        crash_recovery_oracle(case, design, &mut failures);
     }
 
     // One SimReport per scheme×design, in fixed order.
@@ -173,6 +180,66 @@ fn functional_oracle(case: &FuzzCase, design: CounterDesign, failures: &mut Vec<
         if fsm.read_checked(addr) != Ok(repaired) {
             failures.push(format!("{tag}: rewrite failed to repair line {line}"));
         }
+    }
+}
+
+/// Crash-consistency law: journal the case's first writes through the
+/// secure-memory service, crash the backend at a seed-chosen mutating
+/// call (with a seed-chosen torn prefix of the final record), recover,
+/// and require every *acknowledged* write to read back exactly. A pure
+/// crash must also never quarantine lines or fail recovery outright.
+fn crash_recovery_oracle(case: &FuzzCase, design: CounterDesign, failures: &mut Vec<String>) {
+    let tag = format!("crash-recovery/{design:?}");
+    let lines: Vec<u64> = case.trace.iter().take(24).map(|op| op.line).collect();
+    let schedule = CrashSchedule {
+        crash_on_op: case.seed % (lines.len() as u64 + 2), // 0 = never crashes
+        torn_keep: (case.seed >> 8) % 64,
+    };
+    let svc = SecureMemoryService::with_design(
+        CrashInjector::new(InMemoryBackend::new(), schedule),
+        case.seed,
+        case.data_lines,
+        design,
+        ServiceConfig::default(),
+    );
+    let mut acked: BTreeMap<u64, DataBlock> = BTreeMap::new();
+    for (i, &line) in lines.iter().enumerate() {
+        let value = write_value(line, i as u64 ^ 0xC4A5);
+        match svc.batch_write(&[(LineAddr::new(line), value)]) {
+            Ok(_) => {
+                acked.insert(line, value);
+            }
+            Err(ServiceError::Backend { .. }) => break, // the injected crash
+            Err(e) => {
+                failures.push(format!("{tag}: unexpected write error: {e}"));
+                return;
+            }
+        }
+    }
+    match recover(
+        svc.into_backend().into_inner(),
+        case.seed,
+        case.data_lines,
+        design,
+        ServiceConfig::default(),
+    ) {
+        Ok((recovered, report)) => {
+            if !report.quarantined.is_empty() {
+                failures.push(format!(
+                    "{tag}: {} lines quarantined after a pure crash",
+                    report.quarantined.len()
+                ));
+            }
+            for (&line, &value) in &acked {
+                match recovered.batch_read(&[LineAddr::new(line)]) {
+                    Ok(got) if got[0] == Some(value) => {}
+                    other => failures.push(format!(
+                        "{tag}: acked write to line {line} did not survive recovery: {other:?}"
+                    )),
+                }
+            }
+        }
+        Err(e) => failures.push(format!("{tag}: recovery failed after a pure crash: {e}")),
     }
 }
 

@@ -5,6 +5,11 @@
 //! its bug is fixed, and green forever after. The directory is resolved
 //! relative to this crate so the test passes from any working directory;
 //! `EMCC_CORPUS_DIR` points it elsewhere for sandboxed CI steps.
+//!
+//! Loading is fault-tolerant: a corrupted or truncated corpus file is
+//! reported (and fails the suite) *by name*, but never stops the
+//! remaining cases from replaying — so one bad file cannot mask a
+//! regression in the rest of the corpus.
 
 use std::path::PathBuf;
 
@@ -20,30 +25,28 @@ fn corpus_dir() -> PathBuf {
 #[test]
 fn corpus_cases_replay_green() {
     let dir = corpus_dir();
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("corpus dir {} unreadable: {e}", dir.display()))
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "ron"))
-        .collect();
-    entries.sort();
+    let (cases, load_errors) = corpus::load_dir(&dir);
     assert!(
-        !entries.is_empty(),
+        !cases.is_empty() || !load_errors.is_empty(),
         "corpus dir {} holds no .ron cases — the regression suite vanished",
         dir.display()
     );
-    let mut failures = Vec::new();
-    for path in &entries {
-        let case = corpus::load(path).unwrap_or_else(|e| panic!("{e}"));
-        let report = check_case(&case);
+    // Replay everything that loaded, even when some files are bad.
+    let mut failures: Vec<String> = load_errors
+        .iter()
+        .map(|e| format!("unloadable corpus file: {e}"))
+        .collect();
+    for (path, case) in &cases {
+        let report = check_case(case);
         if !report.ok() {
             failures.push(format!("{}: {:?}", path.display(), report.failures));
         }
     }
     assert!(
         failures.is_empty(),
-        "{} corpus case(s) replayed red:\n{}",
+        "{} corpus problem(s) ({} case(s) replayed):\n{}",
         failures.len(),
+        cases.len(),
         failures.join("\n")
     );
 }
@@ -52,13 +55,34 @@ fn corpus_cases_replay_green() {
 fn corpus_files_roundtrip_exactly() {
     // A corpus file must re-serialize to semantically identical text, or
     // shrunk reproducers would drift when re-persisted.
-    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
-        let path = entry.expect("dir entry").path();
-        if path.extension().is_none_or(|x| x != "ron") {
-            continue;
-        }
-        let case = corpus::load(&path).unwrap_or_else(|e| panic!("{e}"));
+    let (cases, _) = corpus::load_dir(&corpus_dir());
+    for (path, case) in cases {
         let back = corpus::from_ron(&corpus::to_ron(&case)).expect("re-parse");
         assert_eq!(case, back, "roundtrip drift in {}", path.display());
     }
+}
+
+#[test]
+fn truncated_corpus_file_is_reported_but_not_fatal() {
+    // End-to-end: a scratch corpus with one deliberately truncated file
+    // still yields every healthy case plus a typed, file-naming error.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-scratch")
+        .join(format!("corpus-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let good = emcc_fuzz::FuzzCase::generate(41);
+    std::fs::write(dir.join("good.ron"), corpus::to_ron(&good)).unwrap();
+    // Cut mid-way through a trace entry, the way a crash while saving
+    // does — a cut on a line boundary would still parse (fewer ops).
+    let full = corpus::to_ron(&emcc_fuzz::FuzzCase::generate(42));
+    let cut = full.rfind("(line:").expect("trace entry") + "(line: 1".len();
+    std::fs::write(dir.join("torn.ron"), &full[..cut]).unwrap();
+
+    let (cases, errors) = corpus::load_dir(&dir);
+    assert_eq!(cases.len(), 1);
+    assert_eq!(cases[0].1, good);
+    assert_eq!(errors.len(), 1);
+    assert!(errors[0].path.ends_with("torn.ron"));
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,9 +12,23 @@
 
 use std::collections::HashMap;
 
-use emcc_counters::{CounterDesign, IntegrityTree};
+use emcc_counters::{CounterBlock, CounterDesign, IntegrityTree};
 use emcc_crypto::{BlockCipherKeys, DataBlock, Mac56};
 use emcc_sim::LineAddr;
+
+/// Persistent state touched by one [`FunctionalSecureMemory::write_logged`]
+/// call — the payload a write-ahead journal record must carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteLog {
+    /// Index of the (single) level-0 counter block the write mutated.
+    pub counter_block: u64,
+    /// Post-write snapshot of that block. All slots share one major, so
+    /// whole-block capture is the smallest sound unit: a rebase rewrites
+    /// every minor, and per-slot deltas could not reproduce that.
+    pub block: CounterBlock,
+    /// Post-write ciphertext+MAC of every line the write re-encrypted.
+    pub touched: Vec<(LineAddr, StoredLine)>,
+}
 
 /// Why a read failed verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +231,58 @@ impl FunctionalSecureMemory {
     /// Raw stored state (ciphertext + MAC) — what a bus probe would see.
     pub fn raw(&self, line: LineAddr) -> Option<StoredLine> {
         self.store.get(&line).copied()
+    }
+
+    /// Like [`Self::write`], but also reports exactly which persistent
+    /// state the write touched, so a write-ahead journal can capture it:
+    /// the (single) mutated counter block and every stored line whose
+    /// ciphertext changed — one line normally, the whole covered region on
+    /// a rebase.
+    pub fn write_logged(&mut self, line: LineAddr, plain: DataBlock) -> WriteLog {
+        let rebased = self.tree.would_overflow_data(line);
+        self.write(line, plain);
+        let cb_index = self.tree.geometry().counter_block_of(line);
+        let block = self
+            .tree
+            .level0_block(cb_index)
+            .expect("write materializes its counter block")
+            .clone();
+        let touched: Vec<(LineAddr, StoredLine)> = if rebased {
+            self.covered_lines(line)
+                .filter_map(|l| self.store.get(&l).map(|s| (l, *s)))
+                .collect()
+        } else {
+            vec![(line, self.store[&line])]
+        };
+        WriteLog {
+            counter_block: cb_index,
+            block,
+            touched,
+        }
+    }
+
+    /// Installs a raw ciphertext+MAC image, or clears the line with `None`
+    /// — crash recovery replaying a journal, and write rollback.
+    pub fn restore_line(&mut self, line: LineAddr, stored: Option<StoredLine>) {
+        match stored {
+            Some(s) => {
+                self.store.insert(line, s);
+            }
+            None => {
+                self.store.remove(&line);
+            }
+        }
+    }
+
+    /// The materialized counter block covering `line`, if any.
+    pub fn counter_block_state(&self, index: u64) -> Option<&CounterBlock> {
+        self.tree.level0_block(index)
+    }
+
+    /// Installs (or clears) a level-0 counter block during recovery or
+    /// write rollback. See [`IntegrityTree::restore_level0_block`].
+    pub fn restore_counter_block(&mut self, index: u64, block: Option<CounterBlock>) {
+        self.tree.restore_level0_block(index, block);
     }
 
     /// Attack: flip one bit of the stored ciphertext.
@@ -626,6 +692,57 @@ mod tests {
                 LineAddr::new(40)
             ]
         );
+    }
+
+    #[test]
+    fn write_logged_plain_write_touches_one_line() {
+        let mut m = FunctionalSecureMemory::new(5, 1 << 16);
+        let l = LineAddr::new(17);
+        let log = m.write_logged(l, block(4));
+        assert_eq!(log.counter_block, m.tree().geometry().counter_block_of(l));
+        assert_eq!(log.touched.len(), 1);
+        assert_eq!(log.touched[0], (l, m.raw(l).unwrap()));
+        assert_eq!(log.block.counter(m.tree().geometry().slot_of(l)), 1);
+    }
+
+    #[test]
+    fn write_logged_rebase_captures_covered_region() {
+        let mut m = FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
+        m.write(LineAddr::new(0), block(100));
+        m.write(LineAddr::new(7), block(107));
+        let mut last = None;
+        for _ in 0..130 {
+            last = Some(m.write_logged(LineAddr::new(5), block(5)));
+        }
+        // At least one of those 130 writes rebased; the rebase log must
+        // carry all three stored lines of the covered region.
+        assert!(m.tree().overflows_by_level()[0] >= 1);
+        let _ = last;
+        // Replaying the full sequence of logs into a fresh memory must
+        // reproduce the exact persistent state.
+        let mut src = FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
+        let mut dst = FunctionalSecureMemory::with_design(9, 1 << 16, CounterDesign::Sc64);
+        let writes: Vec<(u64, u64)> = (0..140).map(|i| (i % 9, i)).collect();
+        for (l, v) in writes {
+            let log = src.write_logged(LineAddr::new(l), block(v));
+            dst.restore_counter_block(log.counter_block, Some(log.block.clone()));
+            for (line, stored) in &log.touched {
+                dst.restore_line(*line, Some(*stored));
+            }
+        }
+        for l in src.written_lines() {
+            assert_eq!(dst.read(l).unwrap(), src.read(l).unwrap());
+        }
+    }
+
+    #[test]
+    fn restore_line_none_clears() {
+        let mut m = FunctionalSecureMemory::new(5, 1 << 16);
+        let l = LineAddr::new(3);
+        m.write(l, block(1));
+        m.restore_line(l, None);
+        assert_eq!(m.read(l).unwrap(), DataBlock::default());
+        assert!(m.raw(l).is_none());
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   paper's limits (≤ 2 outstanding overflows, ≤ 8 in-queue requests),
 //! * [`FunctionalSecureMemory`] — a *functional* (non-timing) secure
 //!   memory: real encryption, MACs and an integrity tree over a sparse
-//!   store, used to validate the security data path end-to-end.
+//!   store, used to validate the security data path end-to-end,
+//! * [`SecureMemoryService`] — a thread-safe, crash-consistent service
+//!   over the functional model: write-ahead journaling, atomic
+//!   checkpoints, verified recovery, and request-level robustness
+//!   policies (retry, timeout, backpressure, degraded read-only mode).
 //!
 //! # Examples
 //!
@@ -34,11 +38,16 @@ pub mod engine;
 pub mod functional;
 pub mod overflow;
 pub mod scheme;
+pub mod service;
 pub mod verify;
 
 pub use counter_cache::MetadataCache;
 pub use engine::AesPool;
-pub use functional::{FunctionalSecureMemory, ReadError};
+pub use functional::{FunctionalSecureMemory, ReadError, StoredLine, WriteLog};
 pub use overflow::{OverflowEngine, OverflowTask};
 pub use scheme::SecurityScheme;
+pub use service::{
+    recover, MemoryAdt, RecoveryError, RecoveryReport, SecureMemoryService, ServiceConfig,
+    ServiceError,
+};
 pub use verify::{RecoveryConfig, RetryPolicy, VerifyOutcome};

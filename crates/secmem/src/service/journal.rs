@@ -1,0 +1,570 @@
+//! Write-ahead journal and checkpoint codecs.
+//!
+//! The service persists *ciphertext* state only — line images and counter
+//! blocks — never plaintext or keys: the key seed is supplied by the
+//! operator at recovery time, so a stolen journal is no more useful than a
+//! stolen DIMM. One journal record captures everything one logical write
+//! mutated: the single level-0 counter block it bumped (whole-block
+//! snapshot, because a rebase rewrites every minor in the block) and every
+//! re-encrypted line image.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [ len: u32 | !len: u32 | body: len bytes | check: u64 ]
+//! ```
+//!
+//! `check` is FNV-1a over the *previous* record's check (chaining) and the
+//! body, so records cannot be reordered or spliced between journals. The
+//! redundant `!len` guard distinguishes the two failure modes recovery must
+//! tell apart:
+//!
+//! * **Torn tail** — a crash mid-append leaves a strict byte *prefix* of
+//!   the final record. The frame header is incomplete, or complete but the
+//!   body/check runs past end-of-file. The record was never acknowledged,
+//!   so the tail is silently discarded.
+//! * **Corruption** — a complete frame whose `len`/`!len` disagree or whose
+//!   checksum fails. That is not an append crash (appends only truncate);
+//!   it is reported as a hard [`JournalError::Corrupt`], never repaired
+//!   silently.
+
+use emcc_counters::CounterDesign;
+
+/// FNV-1a 64-bit offset basis — the chain seed of an empty journal.
+pub const CHAIN_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Sanity cap on one record's body; larger `len` fields are corruption.
+/// (A Morphable rebase record: 128 slots + 128 line images ≈ 11 KB.)
+const MAX_RECORD_BYTES: usize = 1 << 20;
+
+/// Checkpoint file magic + version.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"EMCCKPT1";
+
+fn fnv_mix(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One stored line's persistent image: ciphertext words + 56-bit MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineImage {
+    /// Line index.
+    pub line: u64,
+    /// The 512-bit ciphertext as eight words.
+    pub cipher: [u64; 8],
+    /// The co-located MAC (56 significant bits).
+    pub mac: u64,
+}
+
+/// One journal record: the persistent effect of one acknowledged write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Strictly increasing sequence number (1-based).
+    pub seq: u64,
+    /// Index of the level-0 counter block the write mutated.
+    pub counter_block: u64,
+    /// Post-write major counter of that block.
+    pub major: u64,
+    /// Post-write storage format tag ([`emcc_counters::MorphFormat::tag`]).
+    pub format_tag: u8,
+    /// Post-write per-slot raw values ([`emcc_counters::CounterBlock::raw_slots`]).
+    pub slots: Vec<u64>,
+    /// Post-write image of every line the write re-encrypted.
+    pub lines: Vec<LineImage>,
+}
+
+/// Why a journal failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// A complete frame failed validation at the given byte offset.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Result of scanning a journal byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Every complete, checksum-valid record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of torn tail discarded (an unacknowledged partial append).
+    pub discarded_tail_bytes: usize,
+    /// Chain state after the last valid record — the seed for the next
+    /// append.
+    pub final_check: u64,
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_body(rec: &JournalRecord) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(
+        64 + rec.slots.len() * 8 + rec.lines.len() * 80,
+    ));
+    w.u64(rec.seq);
+    w.u64(rec.counter_block);
+    w.u64(rec.major);
+    w.u8(rec.format_tag);
+    w.u32(rec.slots.len() as u32);
+    for &s in &rec.slots {
+        w.u64(s);
+    }
+    w.u32(rec.lines.len() as u32);
+    for img in &rec.lines {
+        w.u64(img.line);
+        for &c in &img.cipher {
+            w.u64(c);
+        }
+        w.u64(img.mac);
+    }
+    w.0
+}
+
+fn decode_body(body: &[u8]) -> Result<JournalRecord, String> {
+    let mut r = Reader::new(body);
+    let seq = r.u64()?;
+    let counter_block = r.u64()?;
+    let major = r.u64()?;
+    let format_tag = r.u8()?;
+    let n_slots = r.u32()? as usize;
+    if n_slots > 128 {
+        return Err(format!("slot count {n_slots} exceeds any design coverage"));
+    }
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        slots.push(r.u64()?);
+    }
+    let n_lines = r.u32()? as usize;
+    if n_lines > 128 {
+        return Err(format!("line count {n_lines} exceeds any rebase region"));
+    }
+    let mut lines = Vec::with_capacity(n_lines);
+    for _ in 0..n_lines {
+        let line = r.u64()?;
+        let mut cipher = [0u64; 8];
+        for c in &mut cipher {
+            *c = r.u64()?;
+        }
+        let mac = r.u64()?;
+        lines.push(LineImage { line, cipher, mac });
+    }
+    if !r.done() {
+        return Err("trailing bytes after record body".into());
+    }
+    Ok(JournalRecord {
+        seq,
+        counter_block,
+        major,
+        format_tag,
+        slots,
+        lines,
+    })
+}
+
+/// Encodes one record as a framed journal append, chaining from
+/// `prev_check`. Returns the frame bytes and the new chain state.
+pub fn encode_record(rec: &JournalRecord, prev_check: u64) -> (Vec<u8>, u64) {
+    let body = encode_body(rec);
+    let check = fnv_mix(fnv_mix(CHAIN_SEED, &prev_check.to_le_bytes()), &body);
+    let mut frame = Vec::with_capacity(body.len() + 16);
+    let len = body.len() as u32;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&(!len).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&check.to_le_bytes());
+    (frame, check)
+}
+
+/// Scans a journal byte stream into records, discarding a torn tail and
+/// rejecting corruption.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Corrupt`] for any complete frame whose length
+/// guard, checksum chain, or body fails validation.
+pub fn scan_journal(bytes: &[u8]) -> Result<JournalScan, JournalError> {
+    let mut records = Vec::new();
+    let mut check = CHAIN_SEED;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            // Incomplete frame header: torn append.
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        let nlen = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len != !nlen {
+            return Err(JournalError::Corrupt {
+                offset: pos,
+                reason: format!("length guard mismatch: len={len:#x} !len={nlen:#x}"),
+            });
+        }
+        let len = len as usize;
+        if len > MAX_RECORD_BYTES {
+            return Err(JournalError::Corrupt {
+                offset: pos,
+                reason: format!("record length {len} exceeds sanity cap"),
+            });
+        }
+        if rest.len() < 8 + len + 8 {
+            // Complete header, incomplete body/checksum: torn append.
+            break;
+        }
+        let body = &rest[8..8 + len];
+        let stored = u64::from_le_bytes(rest[8 + len..8 + len + 8].try_into().unwrap());
+        let expect = fnv_mix(fnv_mix(CHAIN_SEED, &check.to_le_bytes()), body);
+        if stored != expect {
+            return Err(JournalError::Corrupt {
+                offset: pos,
+                reason: "checksum chain mismatch".into(),
+            });
+        }
+        let rec = decode_body(body).map_err(|reason| JournalError::Corrupt {
+            offset: pos,
+            reason,
+        })?;
+        check = expect;
+        records.push(rec);
+        pos += 8 + len + 8;
+    }
+    Ok(JournalScan {
+        records,
+        discarded_tail_bytes: bytes.len() - pos,
+        final_check: check,
+    })
+}
+
+/// A decoded checkpoint: full persistent state at `last_seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Counter design the state was captured under.
+    pub design: CounterDesign,
+    /// Protected data-line count.
+    pub data_lines: u64,
+    /// Sequence number of the last write the checkpoint includes.
+    pub last_seq: u64,
+    /// Every materialized level-0 counter block:
+    /// `(index, major, format_tag, raw_slots)`.
+    pub blocks: Vec<(u64, u64, u8, Vec<u64>)>,
+    /// Every stored line image.
+    pub lines: Vec<LineImage>,
+}
+
+/// Why a checkpoint failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint corrupt: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn design_tag(d: CounterDesign) -> u8 {
+    match d {
+        CounterDesign::Monolithic => 0,
+        CounterDesign::Sc64 => 1,
+        CounterDesign::Morphable => 2,
+    }
+}
+
+fn design_from_tag(tag: u8) -> Option<CounterDesign> {
+    match tag {
+        0 => Some(CounterDesign::Monolithic),
+        1 => Some(CounterDesign::Sc64),
+        2 => Some(CounterDesign::Morphable),
+        _ => None,
+    }
+}
+
+/// Encodes a checkpoint image: header, counter blocks, line images, and a
+/// trailing whole-file checksum.
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    w.0.extend_from_slice(CHECKPOINT_MAGIC);
+    w.u8(design_tag(ckpt.design));
+    w.u64(ckpt.data_lines);
+    w.u64(ckpt.last_seq);
+    w.u32(ckpt.blocks.len() as u32);
+    for (index, major, tag, slots) in &ckpt.blocks {
+        w.u64(*index);
+        w.u64(*major);
+        w.u8(*tag);
+        w.u32(slots.len() as u32);
+        for &s in slots {
+            w.u64(s);
+        }
+    }
+    w.u32(ckpt.lines.len() as u32);
+    for img in &ckpt.lines {
+        w.u64(img.line);
+        for &c in &img.cipher {
+            w.u64(c);
+        }
+        w.u64(img.mac);
+    }
+    let check = fnv_mix(CHAIN_SEED, &w.0);
+    w.u64(check);
+    w.0
+}
+
+/// Decodes and validates a checkpoint image.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on bad magic, a failed checksum, or any
+/// structural inconsistency.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let fail = |reason: String| CheckpointError { reason };
+    if bytes.len() < CHECKPOINT_MAGIC.len() + 8 {
+        return Err(fail("shorter than header + checksum".into()));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv_mix(CHAIN_SEED, payload) != stored {
+        return Err(fail("whole-file checksum mismatch".into()));
+    }
+    let mut r = Reader::new(payload);
+    let magic = r.take(CHECKPOINT_MAGIC.len()).map_err(fail)?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(fail("bad magic".into()));
+    }
+    let design =
+        design_from_tag(r.u8().map_err(fail)?).ok_or_else(|| fail("unknown design tag".into()))?;
+    let data_lines = r.u64().map_err(fail)?;
+    let last_seq = r.u64().map_err(fail)?;
+    let n_blocks = r.u32().map_err(fail)? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 16));
+    for _ in 0..n_blocks {
+        let index = r.u64().map_err(fail)?;
+        let major = r.u64().map_err(fail)?;
+        let tag = r.u8().map_err(fail)?;
+        let n_slots = r.u32().map_err(fail)? as usize;
+        if n_slots > 128 {
+            return Err(fail(format!("slot count {n_slots} exceeds any coverage")));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(r.u64().map_err(fail)?);
+        }
+        blocks.push((index, major, tag, slots));
+    }
+    let n_lines = r.u32().map_err(fail)? as usize;
+    let mut lines = Vec::with_capacity(n_lines.min(1 << 16));
+    for _ in 0..n_lines {
+        let line = r.u64().map_err(fail)?;
+        let mut cipher = [0u64; 8];
+        for c in &mut cipher {
+            *c = r.u64().map_err(fail)?;
+        }
+        let mac = r.u64().map_err(fail)?;
+        lines.push(LineImage { line, cipher, mac });
+    }
+    if !r.done() {
+        return Err(fail("trailing bytes after line images".into()));
+    }
+    Ok(Checkpoint {
+        design,
+        data_lines,
+        last_seq,
+        blocks,
+        lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64) -> JournalRecord {
+        JournalRecord {
+            seq,
+            counter_block: 3,
+            major: 1,
+            format_tag: 0,
+            slots: vec![seq; 64],
+            lines: vec![LineImage {
+                line: 9,
+                cipher: [seq; 8],
+                mac: 0xABCD,
+            }],
+        }
+    }
+
+    fn journal_of(n: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut check = CHAIN_SEED;
+        for seq in 1..=n {
+            let (frame, c) = encode_record(&record(seq), check);
+            bytes.extend_from_slice(&frame);
+            check = c;
+        }
+        bytes
+    }
+
+    #[test]
+    fn record_roundtrip_chain() {
+        let bytes = journal_of(5);
+        let scan = scan_journal(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.discarded_tail_bytes, 0);
+        assert_eq!(scan.records[2], record(3));
+    }
+
+    #[test]
+    fn empty_journal_scans_clean() {
+        let scan = scan_journal(&[]).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.final_check, CHAIN_SEED);
+    }
+
+    #[test]
+    fn torn_tail_discarded_at_every_prefix_length() {
+        let full = journal_of(3);
+        let two = journal_of(2);
+        // Any strict prefix that cuts into record 3 must yield exactly the
+        // first two records with the remainder discarded as torn tail.
+        for cut in two.len() + 1..full.len() {
+            let scan = scan_journal(&full[..cut]).expect("torn tail is not corruption");
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert_eq!(scan.discarded_tail_bytes, cut - two.len());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = journal_of(2);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match scan_journal(&bad) {
+                Err(JournalError::Corrupt { .. }) => {}
+                Ok(scan) => panic!(
+                    "flip at byte {i} went unnoticed: {} records, {} tail",
+                    scan.records.len(),
+                    scan.discarded_tail_bytes
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn records_cannot_be_reordered() {
+        let (f1, c1) = encode_record(&record(1), CHAIN_SEED);
+        let (f2, _) = encode_record(&record(2), c1);
+        let mut swapped = f2.clone();
+        swapped.extend_from_slice(&f1);
+        assert!(matches!(
+            scan_journal(&swapped),
+            Err(JournalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = Checkpoint {
+            design: CounterDesign::Morphable,
+            data_lines: 1 << 12,
+            last_seq: 42,
+            blocks: vec![(0, 2, 1, vec![3; 128]), (5, 0, 0, vec![0; 128])],
+            lines: vec![LineImage {
+                line: 7,
+                cipher: [1, 2, 3, 4, 5, 6, 7, 8],
+                mac: 99,
+            }],
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn checkpoint_byte_flips_detected() {
+        let ckpt = Checkpoint {
+            design: CounterDesign::Sc64,
+            data_lines: 64,
+            last_seq: 1,
+            blocks: vec![(0, 0, 0, vec![1; 64])],
+            lines: Vec::new(),
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x08;
+            assert!(decode_checkpoint(&bad).is_err(), "flip at byte {i}");
+        }
+        // Truncation too.
+        assert!(decode_checkpoint(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

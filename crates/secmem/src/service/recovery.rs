@@ -1,0 +1,604 @@
+//! Crash recovery: checkpoint load → journal replay → re-verification.
+//!
+//! The recovery state machine:
+//!
+//! ```text
+//! LoadCheckpoint ──ok/none──▶ ReplayJournal ──ok──▶ Reverify ──clean──▶ Serve
+//!       │ corrupt                  │ corrupt            │ MAC failures
+//!       ▼                          ▼                    ▼
+//!   journal covers seq 1?     CorruptJournal       quarantine lines,
+//!    yes: full replay          (detected)          start Degraded
+//!    no: CorruptCheckpoint
+//! ```
+//!
+//! The invariant the crash campaign asserts: after `recover`, every write
+//! the pre-crash service *acknowledged* reads back with its exact value,
+//! or the failure is **detected** (a typed error here, or a quarantined
+//! line whose reads report corruption) — never silent loss. The
+//! acknowledgement point is the journal append, so:
+//!
+//! * a crash tearing the last record only loses unacknowledged work (the
+//!   torn tail never carried an ack);
+//! * a crash between checkpoint install and journal truncate leaves stale
+//!   records, skipped idempotently by sequence number;
+//! * a crash before checkpoint install leaves the old checkpoint plus the
+//!   full journal, which replay covers.
+//!
+//! The operator supplies the key seed at recovery time — it is never
+//! persisted, so the journal and checkpoint are ciphertext-only artifacts.
+
+use std::collections::BTreeSet;
+
+use emcc_counters::{CounterBlock, CounterDesign};
+use emcc_crypto::{DataBlock, Mac56};
+use emcc_sim::LineAddr;
+
+use super::backend::{BackendError, StorageBackend};
+use super::journal::{self, LineImage};
+use super::{SecureMemoryService, ServiceConfig};
+use crate::functional::{FunctionalSecureMemory, StoredLine};
+
+/// Why recovery failed. Every variant is a *detected* failure — recovery
+/// never silently drops acknowledged state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The backend could not be read.
+    Backend(BackendError),
+    /// The journal contains a corrupt (not merely torn) record.
+    CorruptJournal {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// Cause.
+        reason: String,
+    },
+    /// The checkpoint is corrupt and the journal does not reach back to
+    /// sequence 1, so state before the journal's horizon is unrecoverable.
+    CorruptCheckpoint {
+        /// Cause.
+        reason: String,
+    },
+    /// A record or checkpoint disagrees with the supplied configuration
+    /// (design, data size) or with basic consistency (sequence gaps,
+    /// out-of-range indices, malformed counter blocks).
+    Inconsistent {
+        /// Cause.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Backend(e) => write!(f, "recovery backend failure: {e}"),
+            RecoveryError::CorruptJournal { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+            RecoveryError::CorruptCheckpoint { reason } => {
+                write!(f, "checkpoint corrupt: {reason}")
+            }
+            RecoveryError::Inconsistent { reason } => {
+                write!(f, "inconsistent persistent state: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a (valid) checkpoint was loaded.
+    pub had_checkpoint: bool,
+    /// Line images restored from the checkpoint.
+    pub checkpoint_lines: usize,
+    /// Journal records applied (stale pre-checkpoint records excluded).
+    pub replayed_records: usize,
+    /// Stale records skipped by sequence-number idempotence.
+    pub stale_records: usize,
+    /// Torn-tail bytes discarded (an unacknowledged partial append).
+    pub discarded_tail_bytes: usize,
+    /// Lines re-verified after replay.
+    pub reverified_lines: usize,
+    /// Lines whose re-verification failed; reads report corruption and the
+    /// service starts degraded.
+    pub quarantined: Vec<LineAddr>,
+    /// Highest recovered sequence number.
+    pub last_seq: u64,
+    /// Whether the service starts in degraded read-only mode.
+    pub degraded: bool,
+}
+
+fn stored_line_of(img: &LineImage) -> StoredLine {
+    StoredLine {
+        cipher: DataBlock::from_words(img.cipher),
+        mac: Mac56::from_u64(img.mac),
+    }
+}
+
+/// Rebuilds a service from persisted state: loads the checkpoint, replays
+/// the journal, rebuilds counter state, and re-verifies every reachable
+/// line.
+///
+/// # Errors
+///
+/// Any [`RecoveryError`]; all of them are detected-failure reports, never
+/// silent loss.
+pub fn recover<B: StorageBackend>(
+    backend: B,
+    seed: u64,
+    data_lines: u64,
+    design: CounterDesign,
+    cfg: ServiceConfig,
+) -> Result<(SecureMemoryService<B>, RecoveryReport), RecoveryError> {
+    let ckpt_bytes = backend.checkpoint_bytes().map_err(RecoveryError::Backend)?;
+    let journal_bytes = backend.journal_bytes().map_err(RecoveryError::Backend)?;
+
+    // -- ReplayJournal (scan phase): torn tails are fine, corruption not.
+    let scan = journal::scan_journal(&journal_bytes).map_err(|e| match e {
+        journal::JournalError::Corrupt { offset, reason } => {
+            RecoveryError::CorruptJournal { offset, reason }
+        }
+    })?;
+
+    // -- LoadCheckpoint.
+    let checkpoint = match ckpt_bytes {
+        None => None,
+        Some(bytes) => match journal::decode_checkpoint(&bytes) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                let journal_covers_genesis = scan.records.first().is_some_and(|r| r.seq == 1);
+                if journal_covers_genesis {
+                    // Every write since seq 1 is in the journal: rebuild
+                    // without the checkpoint.
+                    None
+                } else {
+                    return Err(RecoveryError::CorruptCheckpoint { reason: e.reason });
+                }
+            }
+        },
+    };
+
+    let mut mem = FunctionalSecureMemory::with_design(seed, data_lines, design);
+    let level0_blocks = mem.tree().geometry().blocks_at_level(0);
+    let mut last_seq = 0u64;
+    let mut checkpoint_lines = 0usize;
+    let had_checkpoint = checkpoint.is_some();
+
+    if let Some(ckpt) = checkpoint {
+        if ckpt.design != design {
+            return Err(RecoveryError::Inconsistent {
+                reason: format!(
+                    "checkpoint design {:?} != configured {:?}",
+                    ckpt.design, design
+                ),
+            });
+        }
+        if ckpt.data_lines != data_lines {
+            return Err(RecoveryError::Inconsistent {
+                reason: format!(
+                    "checkpoint data_lines {} != configured {}",
+                    ckpt.data_lines, data_lines
+                ),
+            });
+        }
+        for (index, major, tag, slots) in &ckpt.blocks {
+            if *index >= level0_blocks {
+                return Err(RecoveryError::Inconsistent {
+                    reason: format!("checkpoint block index {index} out of range"),
+                });
+            }
+            let block = CounterBlock::restore(design, *major, *tag, slots)
+                .map_err(|reason| RecoveryError::Inconsistent { reason })?;
+            mem.restore_counter_block(*index, Some(block));
+        }
+        for img in &ckpt.lines {
+            if img.line >= data_lines {
+                return Err(RecoveryError::Inconsistent {
+                    reason: format!("checkpoint line {} out of range", img.line),
+                });
+            }
+            mem.restore_line(LineAddr::new(img.line), Some(stored_line_of(img)));
+            checkpoint_lines += 1;
+        }
+        last_seq = ckpt.last_seq;
+    }
+
+    // -- ReplayJournal (apply phase).
+    let mut replayed = 0usize;
+    let mut stale = 0usize;
+    for rec in &scan.records {
+        if rec.seq <= last_seq {
+            // Pre-checkpoint record surviving a crashed truncate.
+            stale += 1;
+            continue;
+        }
+        if rec.seq != last_seq + 1 {
+            return Err(RecoveryError::Inconsistent {
+                reason: format!("sequence gap: expected {}, found {}", last_seq + 1, rec.seq),
+            });
+        }
+        if rec.counter_block >= level0_blocks {
+            return Err(RecoveryError::Inconsistent {
+                reason: format!("record counter block {} out of range", rec.counter_block),
+            });
+        }
+        let block = CounterBlock::restore(design, rec.major, rec.format_tag, &rec.slots)
+            .map_err(|reason| RecoveryError::Inconsistent { reason })?;
+        mem.restore_counter_block(rec.counter_block, Some(block));
+        for img in &rec.lines {
+            if img.line >= data_lines {
+                return Err(RecoveryError::Inconsistent {
+                    reason: format!("record line {} out of range", img.line),
+                });
+            }
+            mem.restore_line(LineAddr::new(img.line), Some(stored_line_of(img)));
+        }
+        last_seq = rec.seq;
+        replayed += 1;
+    }
+
+    // -- Reverify every reachable line (tree walk + MAC).
+    let mut quarantined = BTreeSet::new();
+    let lines = mem.written_lines();
+    for &line in &lines {
+        if mem.read_checked(line).is_err() {
+            quarantined.insert(line);
+        }
+    }
+
+    let report = RecoveryReport {
+        had_checkpoint,
+        checkpoint_lines,
+        replayed_records: replayed,
+        stale_records: stale,
+        discarded_tail_bytes: scan.discarded_tail_bytes,
+        reverified_lines: lines.len(),
+        quarantined: quarantined.iter().copied().collect(),
+        last_seq,
+        degraded: !quarantined.is_empty(),
+    };
+    let service = SecureMemoryService::assemble(
+        mem,
+        backend,
+        last_seq + 1,
+        scan.final_check,
+        quarantined,
+        cfg,
+    );
+    Ok((service, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::adt::{MemoryAdt, ServiceError};
+    use crate::service::backend::{CrashInjector, CrashSchedule, InMemoryBackend, Region};
+
+    fn block(v: u64) -> DataBlock {
+        DataBlock::from_words([v; 8])
+    }
+
+    const SEED: u64 = 7;
+    const LINES: u64 = 1 << 12;
+
+    fn fresh() -> SecureMemoryService<InMemoryBackend> {
+        SecureMemoryService::new(
+            InMemoryBackend::new(),
+            SEED,
+            LINES,
+            ServiceConfig::default(),
+        )
+    }
+
+    fn recover_inmem(
+        backend: InMemoryBackend,
+    ) -> (SecureMemoryService<InMemoryBackend>, RecoveryReport) {
+        recover(
+            backend,
+            SEED,
+            LINES,
+            CounterDesign::Morphable,
+            ServiceConfig::default(),
+        )
+        .expect("recovery succeeds")
+    }
+
+    #[test]
+    fn journal_only_recovery_restores_all_acked_writes() {
+        let s = fresh();
+        for i in 0..30u64 {
+            s.batch_write(&[(LineAddr::new(i % 7), block(i))]).unwrap();
+        }
+        let (r, report) = recover_inmem(s.into_backend());
+        assert!(!report.had_checkpoint);
+        assert_eq!(report.replayed_records, 30);
+        assert_eq!(report.last_seq, 30);
+        assert!(report.quarantined.is_empty());
+        for i in 0..7u64 {
+            let expect = block(23 + i); // last value written to each line
+            let got = r.batch_read(&[LineAddr::new((23 + i) % 7)]).unwrap();
+            assert_eq!(got, vec![Some(expect)]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_plus_journal_recovery() {
+        let s = fresh();
+        for i in 0..10u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        s.checkpoint().unwrap();
+        for i in 10..15u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        let (r, report) = recover_inmem(s.into_backend());
+        assert!(report.had_checkpoint);
+        assert_eq!(report.checkpoint_lines, 10);
+        assert_eq!(report.replayed_records, 5);
+        assert_eq!(report.last_seq, 15);
+        for i in 0..15u64 {
+            assert_eq!(
+                r.batch_read(&[LineAddr::new(i)]).unwrap(),
+                vec![Some(block(i))]
+            );
+        }
+        // Sequence numbers continue, not restart.
+        let ack = r.batch_write(&[(LineAddr::new(99), block(99))]).unwrap();
+        assert_eq!(ack.last_seq, 16);
+    }
+
+    #[test]
+    fn torn_final_record_loses_only_unacked_write() {
+        let schedule = CrashSchedule {
+            crash_on_op: 4,
+            torn_keep: 11,
+        };
+        let s = SecureMemoryService::new(
+            CrashInjector::new(InMemoryBackend::new(), schedule),
+            SEED,
+            LINES,
+            ServiceConfig::default(),
+        );
+        let mut acked = Vec::new();
+        for i in 0..10u64 {
+            match s.batch_write(&[(LineAddr::new(i), block(i))]) {
+                Ok(_) => acked.push(i),
+                Err(ServiceError::Backend { .. }) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(acked, vec![0, 1, 2], "crash on 4th append");
+        let (r, report) = recover_inmem(s.into_backend().into_inner());
+        assert!(report.discarded_tail_bytes > 0, "torn tail discarded");
+        assert_eq!(report.replayed_records, 3);
+        for &i in &acked {
+            assert_eq!(
+                r.batch_read(&[LineAddr::new(i)]).unwrap(),
+                vec![Some(block(i))]
+            );
+        }
+        // The unacked write is absent — not silently half-applied.
+        assert_eq!(r.batch_read(&[LineAddr::new(3)]).unwrap(), vec![None]);
+    }
+
+    #[test]
+    fn stale_checkpoint_crash_window_replays_full_journal() {
+        // Crash on install_checkpoint (op 7 after 6 appends): the old
+        // (absent) checkpoint stays, the journal is intact, and recovery
+        // replays everything.
+        let schedule = CrashSchedule {
+            crash_on_op: 7,
+            torn_keep: 0,
+        };
+        let s = SecureMemoryService::new(
+            CrashInjector::new(InMemoryBackend::new(), schedule),
+            SEED,
+            LINES,
+            ServiceConfig::default(),
+        );
+        for i in 0..6u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        assert!(s.checkpoint().is_err(), "install crashes");
+        let inner = s.into_backend().into_inner();
+        assert!(inner.checkpoint_bytes().unwrap().is_none());
+        let (r, report) = recover_inmem(inner);
+        assert!(!report.had_checkpoint);
+        assert_eq!(report.replayed_records, 6);
+        for i in 0..6u64 {
+            assert_eq!(
+                r.batch_read(&[LineAddr::new(i)]).unwrap(),
+                vec![Some(block(i))]
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_truncate_leaves_stale_records_skipped_idempotently() {
+        // Run a service, checkpoint manually against a backend whose
+        // truncate crashes: checkpoint installed, journal keeps all
+        // records. Recovery must skip them by sequence number.
+        let schedule = CrashSchedule {
+            crash_on_op: 7, // 5 appends + 1 install, then the truncate
+            torn_keep: 0,
+        };
+        let s = SecureMemoryService::new(
+            CrashInjector::new(InMemoryBackend::new(), schedule),
+            SEED,
+            LINES,
+            ServiceConfig::default(),
+        );
+        for i in 0..5u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        assert!(s.checkpoint().is_err(), "truncate crashes");
+        let inner = s.into_backend().into_inner();
+        assert!(inner.checkpoint_bytes().unwrap().is_some());
+        assert!(!inner.journal_bytes().unwrap().is_empty());
+        let (r, report) = recover_inmem(inner);
+        assert!(report.had_checkpoint);
+        assert_eq!(report.stale_records, 5);
+        assert_eq!(report.replayed_records, 0);
+        for i in 0..5u64 {
+            assert_eq!(
+                r.batch_read(&[LineAddr::new(i)]).unwrap(),
+                vec![Some(block(i))]
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_journal_is_detected_not_silent() {
+        let s = fresh();
+        for i in 0..5u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        let mut backend = s.into_backend();
+        assert!(backend.corrupt_byte(Region::Journal, 40, 0x10).unwrap());
+        let err = recover(
+            backend,
+            SEED,
+            LINES,
+            CounterDesign::Morphable,
+            ServiceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::CorruptJournal { .. }));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_with_full_journal_rebuilds() {
+        // Checkpoint corrupted, but the journal still covers seq 1..: the
+        // crashed-truncate window. Recovery falls back to full replay.
+        let schedule = CrashSchedule {
+            crash_on_op: 7,
+            torn_keep: 0,
+        };
+        let s = SecureMemoryService::new(
+            CrashInjector::new(InMemoryBackend::new(), schedule),
+            SEED,
+            LINES,
+            ServiceConfig::default(),
+        );
+        for i in 0..5u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        assert!(s.checkpoint().is_err()); // truncate crashed; journal full
+        let mut inner = s.into_backend().into_inner();
+        assert!(inner.corrupt_byte(Region::Checkpoint, 20, 0xFF).unwrap());
+        let (r, report) = recover_inmem(inner);
+        assert!(!report.had_checkpoint, "corrupt checkpoint bypassed");
+        assert_eq!(report.replayed_records, 5);
+        for i in 0..5u64 {
+            assert_eq!(
+                r.batch_read(&[LineAddr::new(i)]).unwrap(),
+                vec![Some(block(i))]
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_without_journal_history_is_detected() {
+        let s = fresh();
+        for i in 0..5u64 {
+            s.batch_write(&[(LineAddr::new(i), block(i))]).unwrap();
+        }
+        s.checkpoint().unwrap(); // journal truncated
+        let mut backend = s.into_backend();
+        assert!(backend.corrupt_byte(Region::Checkpoint, 20, 0xFF).unwrap());
+        let err = recover(
+            backend,
+            SEED,
+            LINES,
+            CounterDesign::Morphable,
+            ServiceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn corrupted_line_image_is_quarantined_and_degrades() {
+        // Corrupt a *line image* inside a checkpoint such that framing
+        // stays valid: easiest via tampering memory pre-checkpoint, which
+        // stores a MAC-inconsistent image.
+        let s = fresh();
+        let good = LineAddr::new(1);
+        let bad = LineAddr::new(2);
+        s.batch_write(&[(good, block(1)), (bad, block(2))]).unwrap();
+        s.with_memory_mut(|m| m.tamper_flip_bit(bad, 9));
+        s.checkpoint().unwrap();
+        let (r, report) = recover_inmem(s.into_backend());
+        assert_eq!(report.quarantined, vec![bad]);
+        assert!(report.degraded);
+        assert!(r.is_degraded());
+        // Quarantined line reads report corruption; intact lines serve.
+        assert!(matches!(
+            r.batch_read(&[bad]),
+            Err(ServiceError::Corruption(_))
+        ));
+        assert_eq!(r.batch_read(&[good]).unwrap(), vec![Some(block(1))]);
+        // Degraded mode rejects writes.
+        assert!(matches!(
+            r.batch_write(&[(good, block(5))]),
+            Err(ServiceError::ReadOnly { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_survives_rebases() {
+        // SC-64 rebases journal whole-region images; recovery must land on
+        // the exact same state.
+        let s = SecureMemoryService::with_design(
+            InMemoryBackend::new(),
+            SEED,
+            LINES,
+            CounterDesign::Sc64,
+            ServiceConfig::default(),
+        );
+        s.batch_write(&[(LineAddr::new(0), block(100))]).unwrap();
+        s.batch_write(&[(LineAddr::new(63), block(163))]).unwrap();
+        for i in 0..140u64 {
+            s.batch_write(&[(LineAddr::new(5), block(i))]).unwrap();
+        }
+        let rebases = s.with_memory(|m| m.tree().overflows_by_level()[0]);
+        assert!(rebases >= 1, "need a rebase to exercise region records");
+        let (r, _) = recover(
+            s.into_backend(),
+            SEED,
+            LINES,
+            CounterDesign::Sc64,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.batch_read(&[LineAddr::new(0)]).unwrap(),
+            vec![Some(block(100))]
+        );
+        assert_eq!(
+            r.batch_read(&[LineAddr::new(63)]).unwrap(),
+            vec![Some(block(163))]
+        );
+        assert_eq!(
+            r.batch_read(&[LineAddr::new(5)]).unwrap(),
+            vec![Some(block(139))]
+        );
+    }
+
+    #[test]
+    fn wrong_design_is_detected() {
+        let s = fresh();
+        s.batch_write(&[(LineAddr::new(0), block(1))]).unwrap();
+        s.checkpoint().unwrap();
+        let err = recover(
+            s.into_backend(),
+            SEED,
+            LINES,
+            CounterDesign::Sc64,
+            ServiceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Inconsistent { .. }));
+    }
+}

@@ -90,6 +90,28 @@ impl RetryPolicy {
             .min(1 << 20);
         Time::from_ps(DRAM_TCK.as_ps() * ticks)
     }
+
+    /// Total delay spent if every one of the policy's retries fires: the
+    /// sum of [`Self::backoff`] over `0..max_attempts`, saturating. This is
+    /// the bound the service layer compares against a per-op timeout, so it
+    /// must never overflow regardless of configuration: each term is capped
+    /// at 2^20 ticks (0.655 ms), so even `u32::MAX` attempts stay below
+    /// 2^52 picoseconds-equivalents, far under `u64::MAX`.
+    pub fn cumulative_backoff(&self) -> Time {
+        let mut total: u64 = 0;
+        for attempt in 0..self.max_attempts {
+            total = total.saturating_add(self.backoff(attempt).as_ps());
+            // Every attempt past the cap point contributes the same capped
+            // term; close the sum arithmetically instead of iterating to
+            // u32::MAX.
+            if self.backoff(attempt) == self.backoff(attempt.saturating_add(1)) {
+                let rest = u64::from(self.max_attempts - attempt - 1);
+                total = total.saturating_add(rest.saturating_mul(self.backoff(attempt).as_ps()));
+                break;
+            }
+        }
+        Time::from_ps(total)
+    }
 }
 
 /// Full recovery configuration threaded through `SystemConfig`.

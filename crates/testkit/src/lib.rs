@@ -19,7 +19,7 @@
 pub mod shrink;
 pub mod strategy;
 
-pub use shrink::{minimize, Minimized, Shrink};
+pub use shrink::{minimize, shrink_int, shrink_option, shrink_vec, Minimized, Shrink};
 pub use strategy::{any, Strategy};
 
 /// Deterministic generator state for one property test.

@@ -106,6 +106,26 @@ pub fn shrink_vec<T: Clone>(
     out
 }
 
+/// Shrink candidates for an optional feature: drop it entirely first
+/// (the most aggressive simplification), then simplify its payload.
+///
+/// Crash schedules use this for "the run also corrupts a byte" style
+/// add-ons: a reproducer without the add-on is strictly simpler, and if
+/// the failure needs it, the payload still shrinks element-wise.
+pub fn shrink_option<T: Clone>(
+    x: &Option<T>,
+    shrink_some: impl Fn(&T) -> Vec<T>,
+) -> Vec<Option<T>> {
+    match x {
+        None => Vec::new(),
+        Some(v) => {
+            let mut out = vec![None];
+            out.extend(shrink_some(v).into_iter().map(Some));
+            out
+        }
+    }
+}
+
 /// Shrink candidates for an integer: towards `floor` by halving the
 /// distance, then by one.
 pub fn shrink_int(x: u64, floor: u64) -> Vec<u64> {
@@ -175,6 +195,16 @@ mod tests {
         for v in c {
             assert!((10..100).contains(&v));
         }
+    }
+
+    #[test]
+    fn shrink_option_drops_feature_first() {
+        let none: Option<u64> = None;
+        assert!(shrink_option(&none, |&x| shrink_int(x, 0)).is_empty());
+        let some = Some(8u64);
+        let cands = shrink_option(&some, |&x| shrink_int(x, 0));
+        assert_eq!(cands[0], None, "dropping the feature must come first");
+        assert!(cands[1..].iter().all(|c| matches!(c, Some(v) if *v < 8)));
     }
 
     #[test]
